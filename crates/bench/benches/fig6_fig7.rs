@@ -1,0 +1,34 @@
+//! Bench for Figures 6 and 7 (per-benchmark rank correlation and top-1
+//! error). Both figures share one cross-validation run; this bench
+//! measures the aggregation paths on top of it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::bench_config;
+use datatrans_experiments::{fig6, fig7, table2};
+
+fn bench_figures(c: &mut Criterion) {
+    let config = bench_config();
+    let t2 = table2::run(&config).expect("table2 runs");
+
+    let mut group = c.benchmark_group("fig6_fig7");
+    group.sample_size(20);
+    group.bench_function("fig6_aggregation", |b| {
+        b.iter(|| {
+            let r = fig6::from_report(&t2.report).expect("fig6 aggregates");
+            std::hint::black_box(r.rows.len())
+        })
+    });
+    group.bench_function("fig7_aggregation", |b| {
+        b.iter(|| {
+            let r = fig7::from_report(&t2.report).expect("fig7 aggregates");
+            std::hint::black_box(r.rows.len())
+        })
+    });
+    group.finish();
+
+    eprintln!("{}", fig6::from_report(&t2.report).expect("fig6"));
+    eprintln!("{}", fig7::from_report(&t2.report).expect("fig7"));
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

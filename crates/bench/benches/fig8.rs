@@ -1,0 +1,26 @@
+//! Bench for Figure 8 (k-medoids vs random predictive-machine selection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::bench_config;
+use datatrans_experiments::fig8;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut config = bench_config();
+    config.trial_scale = 0.04; // 2 random trials per k inside the bench loop
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("fit_curve_reduced", |b| {
+        b.iter(|| {
+            let r = fig8::run(&config).expect("fig8 runs");
+            std::hint::black_box(r.points.len())
+        })
+    });
+    group.finish();
+
+    let result = fig8::run(&config).expect("fig8 runs");
+    eprintln!("{result}");
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the numerical kernels underpinning the pipeline:
+//! the three predictors on one task, dataset generation, Spearman,
+//! k-medoids, QR least squares, and MLP training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::{bench_database, bench_task};
+use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
+use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_linalg::{solve::lstsq, Matrix};
+use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
+use datatrans_ml::ga::GaConfig;
+use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
+use datatrans_stats::correlation::spearman;
+
+fn bench_predictors(c: &mut Criterion) {
+    let db = bench_database();
+    let task = bench_task(&db);
+
+    let mut group = c.benchmark_group("predictors");
+    group.sample_size(10);
+    group.bench_function("nnt_predict", |b| {
+        let nnt = NnT::default();
+        b.iter(|| std::hint::black_box(nnt.predict(&task).expect("nnt")))
+    });
+    group.bench_function("mlpt_predict_500_epochs", |b| {
+        let mlpt = MlpT::default();
+        b.iter(|| std::hint::black_box(mlpt.predict(&task).expect("mlpt")))
+    });
+    group.bench_function("gaknn_predict_32x40", |b| {
+        let gaknn = GaKnn {
+            config: GaKnnConfig {
+                ga: GaConfig {
+                    population: 32,
+                    generations: 40,
+                    ..GaConfig::default_seeded(0)
+                },
+                ..GaKnnConfig::default()
+            },
+        };
+        b.iter(|| std::hint::black_box(gaknn.predict(&task).expect("gaknn")))
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let db = bench_database();
+
+    let mut group = c.benchmark_group("substrates");
+    group.bench_function("dataset_generate_29x117", |b| {
+        b.iter(|| {
+            let db = generate(&DatasetConfig::default()).expect("generates");
+            std::hint::black_box(db.n_machines())
+        })
+    });
+    group.bench_function("spearman_117", |b| {
+        let xs: Vec<f64> = (0..117).map(|i| (i as f64 * 0.7).sin() * 50.0 + 60.0).collect();
+        let ys: Vec<f64> = (0..117).map(|i| (i as f64 * 0.7 + 0.3).sin() * 45.0 + 55.0).collect();
+        b.iter(|| std::hint::black_box(spearman(&xs, &ys).expect("spearman")))
+    });
+    group.bench_function("kmedoids_117_k5", |b| {
+        let points = Matrix::from_fn(db.n_machines(), db.n_benchmarks(), |m, bench| {
+            db.score(bench, m).ln()
+        });
+        b.iter(|| {
+            std::hint::black_box(
+                k_medoids(&points, &KMedoidsConfig::new(5, 7)).expect("kmedoids"),
+            )
+        })
+    });
+    group.bench_function("qr_lstsq_100x10", |b| {
+        let a = Matrix::from_fn(100, 10, |i, j| ((i * 13 + j * 7) % 23) as f64 - 11.0);
+        let rhs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).cos() * 10.0).collect();
+        b.iter(|| std::hint::black_box(lstsq(&a, &rhs).expect("lstsq")))
+    });
+    group.bench_function("mlp_fit_100x28", |b| {
+        let x = Matrix::from_fn(100, 28, |i, j| ((i + j) % 17) as f64 / 17.0);
+        let y: Vec<f64> = (0..100).map(|i| (i % 13) as f64 / 13.0).collect();
+        let config = MlpConfig {
+            epochs: 100,
+            ..MlpConfig::weka_default(3)
+        };
+        b.iter(|| std::hint::black_box(MlpRegressor::fit(&x, &y, &config).expect("fit")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Table 2 (processor-family cross-validation).
+//!
+//! Measures the end-to-end harness at a reduced budget. Regenerate the
+//! paper-scale numbers with `cargo run --release -p datatrans-experiments
+//! --bin repro -- table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::bench_config;
+use datatrans_experiments::table2;
+
+fn bench_table2(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("family_cv_reduced", |b| {
+        b.iter(|| {
+            let result = table2::run(&config).expect("table2 runs");
+            std::hint::black_box(result.aggregates.len())
+        })
+    });
+    group.finish();
+
+    // Print the reduced-budget table once, so bench logs carry the shape.
+    let result = table2::run(&config).expect("table2 runs");
+    eprintln!("{result}");
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for Table 3 (temporal prediction of 2009 machines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::bench_config;
+use datatrans_experiments::table3;
+
+fn bench_table3(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("temporal_reduced", |b| {
+        b.iter(|| {
+            let result = table3::run(&config).expect("table3 runs");
+            std::hint::black_box(result.aggregates.len())
+        })
+    });
+    group.finish();
+
+    let result = table3::run(&config).expect("table3 runs");
+    eprintln!("{result}");
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for Table 4 (limited predictive machine sets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::bench_config;
+use datatrans_experiments::table4;
+
+fn bench_table4(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("subset_reduced", |b| {
+        b.iter(|| {
+            let result = table4::run(&config).expect("table4 runs");
+            std::hint::black_box(result.aggregates.len())
+        })
+    });
+    group.finish();
+
+    let result = table4::run(&config).expect("table4 runs");
+    eprintln!("{result}");
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

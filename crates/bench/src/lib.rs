@@ -1,0 +1,51 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Each paper table/figure has a dedicated bench that runs its experiment
+//! driver at a reduced budget (Criterion needs many iterations; the
+//! full-budget numbers are produced by `repro`). `micro` benches the
+//! numerical kernels, `ablation` times the design-choice variants called
+//! out in DESIGN.md.
+
+use datatrans_core::task::PredictionTask;
+use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_dataset::machine::ProcessorFamily;
+use datatrans_experiments::ExperimentConfig;
+
+/// The standard benchmark database (default seed).
+pub fn bench_database() -> PerfDatabase {
+    generate(&DatasetConfig::default()).expect("default dataset generates")
+}
+
+/// A representative single prediction task: Xeon family as targets,
+/// everything else predictive, `gcc` as the application of interest.
+pub fn bench_task(db: &PerfDatabase) -> PredictionTask {
+    let targets = db.machines_in_family(ProcessorFamily::Xeon);
+    let predictive: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !targets.contains(m))
+        .collect();
+    let app = db.benchmark_index("gcc").expect("gcc in suite");
+    PredictionTask::leave_one_out(db, app, &predictive, &targets, 42)
+        .expect("valid bench task")
+}
+
+/// Reduced-budget experiment configuration for bench iterations.
+pub fn bench_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.max_apps = Some(2);
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        let db = bench_database();
+        let task = bench_task(&db);
+        assert_eq!(task.n_targets(), 39);
+        assert_eq!(task.n_benchmarks(), 28);
+        assert_eq!(bench_config().max_apps, Some(2));
+    }
+}

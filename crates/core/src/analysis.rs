@@ -1,0 +1,190 @@
+//! Machine-similarity analysis: the structure data transposition exploits.
+//!
+//! Data transposition works because machines form a low-dimensional
+//! behaviour space — most of the variance in a 29-benchmark score vector
+//! is explained by a few axes (overall speed, memory-subsystem strength,
+//! compute vs. bandwidth balance). This module makes that structure
+//! inspectable: PCA projection of machines, variance profiles, and
+//! similarity queries, mirroring the workload-similarity analyses of
+//! Eeckhout et al. cited in the paper's related work — transposed to
+//! machines.
+
+use datatrans_dataset::database::PerfDatabase;
+use datatrans_linalg::{vecops, Matrix};
+use datatrans_ml::pca::Pca;
+use datatrans_ml::scale::StandardScaler;
+
+use crate::{CoreError, Result};
+
+/// PCA projection of the machine population into behaviour space.
+#[derive(Debug, Clone)]
+pub struct MachineSpace {
+    /// Machine coordinates (machines × components).
+    pub coordinates: Matrix,
+    /// Fraction of behaviour variance captured by each component.
+    pub explained_variance_ratio: Vec<f64>,
+    /// Machine indices, aligned with coordinate rows.
+    pub machines: Vec<usize>,
+}
+
+impl MachineSpace {
+    /// Euclidean distance between two machines in behaviour space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] if either machine is not part of
+    /// this projection.
+    pub fn distance(&self, a: usize, b: usize) -> Result<f64> {
+        let pa = self.position_of(a)?;
+        let pb = self.position_of(b)?;
+        Ok(vecops::euclidean_distance(
+            self.coordinates.row(pa),
+            self.coordinates.row(pb),
+        )?)
+    }
+
+    /// The most similar machine to `machine` in behaviour space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] if `machine` is not in the
+    /// projection or the projection has fewer than two machines.
+    pub fn nearest_neighbor(&self, machine: usize) -> Result<usize> {
+        let pos = self.position_of(machine)?;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &m) in self.machines.iter().enumerate() {
+            if i == pos {
+                continue;
+            }
+            let d = vecops::euclidean_distance(
+                self.coordinates.row(pos),
+                self.coordinates.row(i),
+            )?;
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((m, d));
+            }
+        }
+        best.map(|(m, _)| m)
+            .ok_or_else(|| CoreError::invalid_task("projection has a single machine"))
+    }
+
+    fn position_of(&self, machine: usize) -> Result<usize> {
+        self.machines
+            .iter()
+            .position(|&m| m == machine)
+            .ok_or_else(|| {
+                CoreError::invalid_task(format!("machine {machine} not in projection"))
+            })
+    }
+}
+
+/// Projects `machines` (database indices; empty = all) into a
+/// `components`-dimensional behaviour space via PCA over standardized
+/// log-scores.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTask`] on out-of-range machine indices,
+/// or underlying ML errors for degenerate inputs.
+pub fn machine_space(
+    db: &PerfDatabase,
+    machines: &[usize],
+    components: usize,
+) -> Result<MachineSpace> {
+    let machines: Vec<usize> = if machines.is_empty() {
+        (0..db.n_machines()).collect()
+    } else {
+        machines.to_vec()
+    };
+    for &m in &machines {
+        if m >= db.n_machines() {
+            return Err(CoreError::invalid_task(format!(
+                "machine index {m} out of range"
+            )));
+        }
+    }
+    let raw = Matrix::from_fn(machines.len(), db.n_benchmarks(), |i, b| {
+        db.score(b, machines[i]).ln()
+    });
+    let scaler = StandardScaler::fit(&raw)?;
+    let features = scaler.transform(&raw)?;
+    let pca = Pca::fit(&features, components)?;
+    let coordinates = pca.transform(&features)?;
+    Ok(MachineSpace {
+        coordinates,
+        explained_variance_ratio: pca.explained_variance_ratio(),
+        machines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatrans_dataset::generator::{generate, DatasetConfig};
+
+    fn db() -> PerfDatabase {
+        generate(&DatasetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn behaviour_space_is_low_dimensional() {
+        // The paper's premise: machine behaviour is dominated by a few
+        // axes. Two components must explain most of the variance.
+        let db = db();
+        let space = machine_space(&db, &[], 2).unwrap();
+        let captured: f64 = space.explained_variance_ratio.iter().sum();
+        assert!(
+            captured > 0.6,
+            "two components capture only {captured:.2} of variance"
+        );
+        assert_eq!(space.coordinates.rows(), 117);
+    }
+
+    #[test]
+    fn same_nickname_machines_are_close() {
+        let db = db();
+        let space = machine_space(&db, &[], 3).unwrap();
+        // Machines 0..3 share the Barcelona nickname; machine 108 is a
+        // SPARC64. Barcelona instances must be mutually closer than to the
+        // SPARC.
+        let d_within = space.distance(0, 1).unwrap();
+        let d_across = space.distance(0, 108).unwrap();
+        assert!(
+            d_within < d_across,
+            "within-nickname {d_within:.2} vs cross-vendor {d_across:.2}"
+        );
+    }
+
+    #[test]
+    fn nehalem_twins_are_nearest_neighbors() {
+        let db = db();
+        let space = machine_space(&db, &[], 4).unwrap();
+        // Xeon Bloomfield (indices 69..72) and Core i7 Bloomfield XE
+        // (54..57) are microarchitectural twins across family boundaries —
+        // exactly the machine similarity data transposition exploits.
+        let bloomfield_xe = db
+            .machines()
+            .iter()
+            .position(|m| m.nickname == "Bloomfield XE")
+            .unwrap();
+        let nn = space.nearest_neighbor(bloomfield_xe).unwrap();
+        let neighbor = &db.machines()[nn];
+        assert!(
+            neighbor.nickname.contains("Bloomfield")
+                || neighbor.nickname.contains("Gainestown")
+                || neighbor.nickname.contains("Lynnfield"),
+            "Bloomfield XE's neighbor is {} {}",
+            neighbor.family,
+            neighbor.name
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let db = db();
+        assert!(machine_space(&db, &[9999], 2).is_err());
+        let space = machine_space(&db, &[0, 1, 2], 2).unwrap();
+        assert!(space.distance(0, 50).is_err());
+        assert!(space.nearest_neighbor(50).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Guiding purchasing decisions (paper §4, first application).
+//!
+//! A customer with a proprietary application wants to buy the best machine
+//! from a set they cannot benchmark directly. The advisor runs the
+//! application on the customer's own (predictive) machines, applies a
+//! transposition model, and ranks the candidate machines.
+
+use datatrans_dataset::characteristics::WorkloadCharacteristics;
+use datatrans_dataset::database::PerfDatabase;
+
+use crate::model::Predictor;
+use crate::ranking::Ranking;
+use crate::task::PredictionTask;
+use crate::Result;
+
+/// One ranked candidate machine in a recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Index into the database's machine list.
+    pub machine: usize,
+    /// Human-readable machine description.
+    pub label: String,
+    /// Predicted score of the application on this machine.
+    pub predicted_score: f64,
+}
+
+/// A purchasing report: candidates ranked best-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurchasingReport {
+    /// Ranked recommendations, best first.
+    pub recommendations: Vec<Recommendation>,
+    /// Name of the model that produced the ranking.
+    pub method: String,
+}
+
+impl PurchasingReport {
+    /// The predicted best machine.
+    pub fn best(&self) -> &Recommendation {
+        &self.recommendations[0]
+    }
+}
+
+/// Ranks the `candidates` for a proprietary application.
+///
+/// `predictive` are the machines the customer owns; the application's
+/// characteristics stand in for "running it" on those machines (the
+/// dataset's performance model plays the role of real hardware).
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError`] if the machine sets are invalid or the
+/// model fails.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_core::apps::purchasing::recommend;
+/// use datatrans_core::model::MlpT;
+/// use datatrans_dataset::generator::{generate, DatasetConfig};
+/// use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let db = generate(&DatasetConfig::default())?;
+/// let app = synthesize(WorkloadProfile::ServerInteger, 7);
+/// let predictive = vec![0, 30, 60];
+/// let candidates: Vec<usize> = (90..110).collect();
+/// let report = recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 1)?;
+/// assert_eq!(report.recommendations.len(), 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn recommend(
+    db: &PerfDatabase,
+    app: &WorkloadCharacteristics,
+    predictive: &[usize],
+    candidates: &[usize],
+    method: &dyn Predictor,
+    seed: u64,
+) -> Result<PurchasingReport> {
+    let task = PredictionTask::external_app(db, app, predictive, candidates, seed)?;
+    let predicted = method.predict(&task)?;
+    let ranking = Ranking::from_scores(&predicted)?;
+    let recommendations = ranking
+        .order()
+        .iter()
+        .map(|&pos| {
+            let machine = candidates[pos];
+            let m = &db.machines()[machine];
+            Recommendation {
+                machine,
+                label: format!("{} {} ({})", m.family, m.name, m.year),
+                predicted_score: predicted[pos],
+            }
+        })
+        .collect();
+    Ok(PurchasingReport {
+        recommendations,
+        method: method.name().to_owned(),
+    })
+}
+
+/// The oracle deficiency of a report: how much actual performance is lost
+/// by buying the report's best machine instead of the true best candidate,
+/// in percent. Zero means the advisor picked a true best machine.
+pub fn oracle_deficiency_pct(
+    db: &PerfDatabase,
+    app: &WorkloadCharacteristics,
+    candidates: &[usize],
+    report: &PurchasingReport,
+) -> f64 {
+    let actual: Vec<f64> = candidates
+        .iter()
+        .map(|&m| datatrans_dataset::perf_model::spec_ratio(&db.machines()[m].micro, app))
+        .collect();
+    let best_actual = actual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let chosen_pos = candidates
+        .iter()
+        .position(|&m| m == report.best().machine)
+        .expect("report machine must be a candidate");
+    let chosen_actual = actual[chosen_pos];
+    ((best_actual - chosen_actual) / chosen_actual * 100.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MlpT, NnT};
+    use datatrans_dataset::generator::{generate, DatasetConfig};
+    use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
+
+    fn setup() -> (PerfDatabase, WorkloadCharacteristics, Vec<usize>, Vec<usize>) {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let app = synthesize(WorkloadProfile::Scientific, 11);
+        let candidates: Vec<usize> = (60..117).collect();
+        // Predictive machines chosen by k-medoids over the rest — the
+        // paper's §6.5 recommendation for picking machines to benchmark.
+        let pool: Vec<usize> = (0..60).collect();
+        let predictive = crate::select::select_k_medoids(&db, &pool, 5, 3).unwrap();
+        (db, app, predictive, candidates)
+    }
+
+    #[test]
+    fn recommendations_sorted_descending() {
+        let (db, app, predictive, candidates) = setup();
+        let report =
+            recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 3).unwrap();
+        for w in report.recommendations.windows(2) {
+            assert!(w[0].predicted_score >= w[1].predicted_score);
+        }
+        assert_eq!(report.method, "MLP^T");
+        assert_eq!(report.best().machine, report.recommendations[0].machine);
+    }
+
+    #[test]
+    fn mlpt_recommendation_close_to_oracle() {
+        let (db, app, predictive, candidates) = setup();
+        let report =
+            recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 3).unwrap();
+        let deficiency = oracle_deficiency_pct(&db, &app, &candidates, &report);
+        assert!(
+            deficiency < 30.0,
+            "MLP^T purchasing deficiency {deficiency:.1}%"
+        );
+    }
+
+    #[test]
+    fn nnt_also_produces_valid_report() {
+        let (db, app, predictive, candidates) = setup();
+        let report =
+            recommend(&db, &app, &predictive, &candidates, &NnT::default(), 3).unwrap();
+        assert_eq!(report.recommendations.len(), candidates.len());
+        let labels: std::collections::BTreeSet<&str> = report
+            .recommendations
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels.len(), candidates.len(), "labels must be unique");
+    }
+}

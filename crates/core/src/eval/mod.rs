@@ -1,0 +1,262 @@
+//! Evaluation harnesses for every experiment in the paper's §6.
+//!
+//! * [`family_cv`] — processor-family cross-validation (Table 2,
+//!   Figures 6–7): each family in turn becomes the target set, all other
+//!   machines are predictive, with leave-one-out over benchmarks.
+//! * [`temporal`] — predicting the 2009 machines from 2008 / 2007 /
+//!   pre-2007 predictive sets (Table 3).
+//! * [`subset`] — limited predictive sets of size 10/5/3 sampled from the
+//!   2008 machines (Table 4).
+//! * [`fit`] — goodness-of-fit R² versus number of predictive machines,
+//!   k-medoids vs random selection (Figure 8).
+
+pub mod family_cv;
+pub mod fit;
+pub mod subset;
+pub mod temporal;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ranking::{EvalMetrics, MetricAggregate};
+use crate::{CoreError, Result};
+
+/// One evaluation cell: a (fold, application, method) triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvCell {
+    /// Fold label, e.g. `"Intel Xeon"` or `"2008"` or `"size-5/trial-3"`.
+    pub fold: String,
+    /// Application-of-interest (benchmark) name.
+    pub app: String,
+    /// Method name, e.g. `"MLP^T"`.
+    pub method: String,
+    /// The three accuracy metrics for this cell.
+    pub metrics: EvalMetrics,
+}
+
+/// A set of evaluation cells with aggregation helpers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CvReport {
+    /// All evaluation cells produced by a harness.
+    pub cells: Vec<CvCell>,
+}
+
+impl CvReport {
+    /// Distinct method names, in first-appearance order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.method) {
+                out.push(c.method.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct application names, in first-appearance order.
+    pub fn apps(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.app) {
+                out.push(c.app.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct fold labels, in first-appearance order.
+    pub fn folds(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.fold) {
+                out.push(c.fold.clone());
+            }
+        }
+        out
+    }
+
+    /// Aggregates all cells of one method (the paper's "average (worst
+    /// case)" row format).
+    ///
+    /// Averages are taken over all cells; the bracketed worst cases follow
+    /// the paper's convention of quoting the extreme *per-benchmark
+    /// average* (the Minimum/Maximum bars of Figures 6–7), not the extreme
+    /// individual cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] if the method has no cells.
+    pub fn aggregate_method(&self, method: &str) -> Result<MetricAggregate> {
+        let cells: Vec<EvalMetrics> = self
+            .cells
+            .iter()
+            .filter(|c| c.method == method)
+            .map(|c| c.metrics)
+            .collect();
+        if cells.is_empty() {
+            return Err(CoreError::invalid_task(format!(
+                "no cells for method {method}"
+            )));
+        }
+        let mut agg = MetricAggregate::from_cells(&cells)?;
+        // Replace worst-case fields with extrema over per-app means.
+        let mut worst_rank = f64::INFINITY;
+        let mut worst_top1 = f64::NEG_INFINITY;
+        let mut worst_mean = f64::NEG_INFINITY;
+        for app in self.apps() {
+            let per_app = self.aggregate_method_app(method, &app)?;
+            worst_rank = worst_rank.min(per_app.mean_rank_correlation);
+            worst_top1 = worst_top1.max(per_app.mean_top1_error_pct);
+            worst_mean = worst_mean.max(per_app.mean_error_pct);
+        }
+        agg.worst_rank_correlation = worst_rank;
+        agg.worst_top1_error_pct = worst_top1;
+        agg.worst_mean_error_pct = worst_mean;
+        Ok(agg)
+    }
+
+    /// Aggregates the cells of one (method, application) pair across folds
+    /// — one bar of Figure 6/7.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] if the pair has no cells.
+    pub fn aggregate_method_app(&self, method: &str, app: &str) -> Result<MetricAggregate> {
+        let cells: Vec<EvalMetrics> = self
+            .cells
+            .iter()
+            .filter(|c| c.method == method && c.app == app)
+            .map(|c| c.metrics)
+            .collect();
+        if cells.is_empty() {
+            return Err(CoreError::invalid_task(format!(
+                "no cells for method {method}, app {app}"
+            )));
+        }
+        MetricAggregate::from_cells(&cells)
+    }
+
+    /// Aggregates the cells of one (method, fold) pair across applications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] if the pair has no cells.
+    pub fn aggregate_method_fold(&self, method: &str, fold: &str) -> Result<MetricAggregate> {
+        let cells: Vec<EvalMetrics> = self
+            .cells
+            .iter()
+            .filter(|c| c.method == method && c.fold == fold)
+            .map(|c| c.metrics)
+            .collect();
+        if cells.is_empty() {
+            return Err(CoreError::invalid_task(format!(
+                "no cells for method {method}, fold {fold}"
+            )));
+        }
+        MetricAggregate::from_cells(&cells)
+    }
+
+    /// Merges another report into this one.
+    pub fn extend(&mut self, other: CvReport) {
+        self.cells.extend(other.cells);
+    }
+
+    /// Exports all cells as CSV (one row per cell) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("fold,app,method,rank_correlation,top1_error_pct,mean_error_pct\n");
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.6}\n",
+                c.fold.replace(',', ";"),
+                c.app,
+                c.method,
+                c.metrics.rank_correlation,
+                c.metrics.top1_error_pct,
+                c.metrics.mean_error_pct
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(fold: &str, app: &str, method: &str, rho: f64) -> CvCell {
+        CvCell {
+            fold: fold.into(),
+            app: app.into(),
+            method: method.into(),
+            metrics: EvalMetrics {
+                rank_correlation: rho,
+                top1_error_pct: 1.0,
+                mean_error_pct: 2.0,
+            },
+        }
+    }
+
+    #[test]
+    fn enumerations_in_order() {
+        let report = CvReport {
+            cells: vec![
+                cell("f1", "a1", "M1", 0.9),
+                cell("f1", "a2", "M2", 0.8),
+                cell("f2", "a1", "M1", 0.7),
+            ],
+        };
+        assert_eq!(report.methods(), vec!["M1", "M2"]);
+        assert_eq!(report.apps(), vec!["a1", "a2"]);
+        assert_eq!(report.folds(), vec!["f1", "f2"]);
+    }
+
+    #[test]
+    fn aggregations_filter_correctly() {
+        let report = CvReport {
+            cells: vec![
+                cell("f1", "a1", "M1", 0.9),
+                cell("f2", "a1", "M1", 0.5),
+                cell("f1", "a1", "M2", 0.1),
+            ],
+        };
+        let agg = report.aggregate_method("M1").unwrap();
+        assert_eq!(agg.cells, 2);
+        assert!((agg.mean_rank_correlation - 0.7).abs() < 1e-12);
+        // Worst case follows the paper's per-benchmark-average convention:
+        // app a1's mean across folds is 0.7.
+        assert!((agg.worst_rank_correlation - 0.7).abs() < 1e-12);
+
+        let per_app = report.aggregate_method_app("M2", "a1").unwrap();
+        assert_eq!(per_app.cells, 1);
+
+        let per_fold = report.aggregate_method_fold("M1", "f2").unwrap();
+        assert_eq!(per_fold.cells, 1);
+
+        assert!(report.aggregate_method("nope").is_err());
+        assert!(report.aggregate_method_app("M1", "nope").is_err());
+        assert!(report.aggregate_method_fold("nope", "f1").is_err());
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let report = CvReport {
+            cells: vec![cell("Intel Xeon", "gcc", "MLP^T", 0.9)],
+        };
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("fold,app,method"));
+        assert!(lines[1].contains("Intel Xeon,gcc,MLP^T,0.9"));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = CvReport {
+            cells: vec![cell("f", "a", "M", 0.5)],
+        };
+        let b = CvReport {
+            cells: vec![cell("g", "b", "N", 0.6)],
+        };
+        a.extend(b);
+        assert_eq!(a.cells.len(), 2);
+    }
+}

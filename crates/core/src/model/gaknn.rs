@@ -1,0 +1,353 @@
+//! GA-kNN: the prior-art baseline (Hoste et al., PACT 2006; paper §2, §6).
+//!
+//! The method exploits **workload similarity**: the application of
+//! interest's score on a target machine is predicted from its `k = 10`
+//! nearest benchmarks in a weighted microarchitecture-independent
+//! characteristic space. A genetic algorithm learns the per-characteristic
+//! weights — "how to weight microarchitecture-independent workload
+//! differences to performance differences" — by minimizing the
+//! leave-one-out prediction error of the training benchmarks on the target
+//! machines. Note that, per the paper (§6.3), GA-kNN "does not rely on data
+//! from these predictive machines, and takes only the target machines and
+//! the benchmark characteristics into account".
+//!
+//! Its characteristic failure mode — and the paper's motivation — is
+//! *outlier workloads*: an application dissimilar to every benchmark has no
+//! informative neighbours, so its prediction inherits the scale of
+//! unrelated benchmarks (over 100% top-1 error on `libquantum`-class
+//! workloads).
+
+use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
+use datatrans_ml::knn::{combine_targets, Neighbor, NeighborWeighting};
+use datatrans_ml::scale::StandardScaler;
+use datatrans_linalg::Matrix;
+
+use crate::model::Predictor;
+use crate::task::PredictionTask;
+use crate::{CoreError, Result};
+
+/// Configuration of the GA-kNN baseline.
+#[derive(Debug, Clone)]
+pub struct GaKnnConfig {
+    /// Number of neighbours (the paper assumes `k = 10`).
+    pub k: usize,
+    /// Genetic-algorithm budget for weight learning. The seed inside is
+    /// combined with the task seed.
+    pub ga: GaConfig,
+    /// Neighbour combination rule.
+    pub weighting: NeighborWeighting,
+}
+
+impl Default for GaKnnConfig {
+    fn default() -> Self {
+        GaKnnConfig {
+            k: 10,
+            ga: GaConfig {
+                population: 32,
+                generations: 40,
+                ..GaConfig::default_seeded(0)
+            },
+            weighting: NeighborWeighting::InverseDistance,
+        }
+    }
+}
+
+/// The GA-kNN predictor.
+#[derive(Debug, Clone, Default)]
+pub struct GaKnn {
+    /// Method configuration.
+    pub config: GaKnnConfig,
+}
+
+impl GaKnn {
+    /// GA-kNN with the paper's settings (`k = 10`).
+    pub fn new() -> Self {
+        GaKnn::default()
+    }
+
+    /// Predicts and also returns the learned characteristic weights, for
+    /// diagnostics and the weight-analysis example.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Predictor::predict`].
+    pub fn predict_with_weights(&self, task: &PredictionTask) -> Result<(Vec<f64>, Vec<f64>)> {
+        task.validate()?;
+        let b = task.n_benchmarks();
+        let dims = task.train_characteristics.cols();
+        let k = self.config.k.min(b - 1);
+        if k == 0 {
+            return Err(CoreError::invalid_task(
+                "GA-kNN needs at least 2 training benchmarks",
+            ));
+        }
+
+        // Standardize the characteristic space on the training benchmarks.
+        let scaler = StandardScaler::fit(&task.train_characteristics)?;
+        let train_chars = scaler.transform(&task.train_characteristics)?;
+        let app_chars: Vec<f64> = task
+            .app_characteristics
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| scaler.transform_value(j, v))
+            .collect();
+
+        // Precompute per-dimension squared differences between benchmarks.
+        let sq_diffs = pairwise_sq_diffs(&train_chars);
+
+        // GA: maximize −(LOO mean relative error) of kNN predictions of the
+        // training benchmarks on the target machines.
+        let fitness_ctx = FitnessContext {
+            sq_diffs: &sq_diffs,
+            scores: &task.train_target,
+            k,
+            weighting: self.config.weighting,
+        };
+        let mut ga_config = self.config.ga.clone();
+        ga_config.seed ^= task.seed;
+        let ga = GeneticAlgorithm::new(dims, (0.0, 1.0), ga_config)?;
+        let result = ga.run(|w| -fitness_ctx.loo_error(w));
+        let weights = result.best_genome;
+
+        // Final prediction: the app's k nearest benchmarks under the
+        // learned weights, combined per target machine.
+        let neighbors = nearest_benchmarks(&train_chars, &app_chars, &weights, k);
+        let mut predictions = Vec::with_capacity(task.n_targets());
+        for t in 0..task.n_targets() {
+            let targets: Vec<f64> = (0..b).map(|i| task.train_target[(i, t)]).collect();
+            predictions.push(combine_targets(&neighbors, &targets, self.config.weighting));
+        }
+        Ok((predictions, weights))
+    }
+}
+
+impl Predictor for GaKnn {
+    fn name(&self) -> &'static str {
+        "GA-kNN"
+    }
+
+    fn predict(&self, task: &PredictionTask) -> Result<Vec<f64>> {
+        Ok(self.predict_with_weights(task)?.0)
+    }
+}
+
+/// `sq_diffs[i][j]` is the per-dimension squared difference vector between
+/// benchmarks `i` and `j` in standardized characteristic space.
+fn pairwise_sq_diffs(chars: &Matrix) -> Vec<Vec<Vec<f64>>> {
+    let (b, d) = chars.shape();
+    let mut out = vec![vec![vec![0.0; d]; b]; b];
+    for i in 0..b {
+        for j in (i + 1)..b {
+            for dim in 0..d {
+                let diff = chars[(i, dim)] - chars[(j, dim)];
+                let sq = diff * diff;
+                out[i][j][dim] = sq;
+                out[j][i][dim] = sq;
+            }
+        }
+    }
+    out
+}
+
+fn weighted_distance(sq: &[f64], w: &[f64]) -> f64 {
+    sq.iter().zip(w).map(|(s, wi)| s * wi).sum::<f64>().sqrt()
+}
+
+fn nearest_benchmarks(
+    train_chars: &Matrix,
+    query: &[f64],
+    weights: &[f64],
+    k: usize,
+) -> Vec<Neighbor> {
+    let b = train_chars.rows();
+    let mut neighbors: Vec<Neighbor> = (0..b)
+        .map(|i| {
+            let d2: f64 = (0..weights.len())
+                .map(|dim| {
+                    let diff = train_chars[(i, dim)] - query[dim];
+                    weights[dim] * diff * diff
+                })
+                .sum();
+            Neighbor {
+                index: i,
+                distance: d2.sqrt(),
+            }
+        })
+        .collect();
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+            .then(a.index.cmp(&b.index))
+    });
+    neighbors.truncate(k);
+    neighbors
+}
+
+/// Shared state for GA fitness evaluation.
+struct FitnessContext<'a> {
+    sq_diffs: &'a [Vec<Vec<f64>>],
+    scores: &'a Matrix,
+    k: usize,
+    weighting: NeighborWeighting,
+}
+
+impl FitnessContext<'_> {
+    /// Leave-one-out mean relative error of kNN predictions of each
+    /// training benchmark's scores on the target machines.
+    fn loo_error(&self, weights: &[f64]) -> f64 {
+        let b = self.scores.rows();
+        let t = self.scores.cols();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for held in 0..b {
+            // Neighbours among the other benchmarks.
+            let mut neighbors: Vec<Neighbor> = (0..b)
+                .filter(|&i| i != held)
+                .map(|i| Neighbor {
+                    index: i,
+                    distance: weighted_distance(&self.sq_diffs[held][i], weights),
+                })
+                .collect();
+            neighbors.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .expect("finite distances")
+                    .then(a.index.cmp(&b.index))
+            });
+            neighbors.truncate(self.k.min(neighbors.len()));
+
+            for tj in 0..t {
+                let targets: Vec<f64> = (0..b).map(|i| self.scores[(i, tj)]).collect();
+                let pred = combine_targets(&neighbors, &targets, self.weighting);
+                let actual = self.scores[(held, tj)];
+                if actual > 0.0 {
+                    total += (pred - actual).abs() / actual;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            f64::INFINITY
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatrans_ml::ga::GaConfig;
+
+    /// A task where one characteristic dimension perfectly explains score
+    /// scale and another is pure noise: GA should exploit the informative
+    /// dimension and kNN should recover neighbour structure.
+    fn structured_task() -> PredictionTask {
+        let b = 12;
+        let t = 4;
+        let p = 2;
+        // Benchmark "type" alternates slow/fast score families; dim 0
+        // encodes the type, dim 1 is noise.
+        let type_of = |i: usize| (i % 3) as f64; // three behaviour groups
+        let scale_of = |i: usize| 10.0 + 15.0 * type_of(i);
+        let train_target = Matrix::from_fn(b, t, |i, tj| {
+            scale_of(i) * (1.0 + 0.3 * tj as f64)
+        });
+        let train_predictive = Matrix::from_fn(b, p, |i, pj| {
+            scale_of(i) * (0.8 + 0.2 * pj as f64)
+        });
+        let train_characteristics = Matrix::from_fn(b, 2, |i, d| {
+            if d == 0 {
+                type_of(i)
+            } else {
+                ((i * 37) % 11) as f64 // noise
+            }
+        });
+        PredictionTask {
+            train_predictive,
+            train_target,
+            // App belongs to group 1 (scale 25).
+            app_predictive: vec![25.0 * 0.8, 25.0],
+            train_characteristics,
+            app_characteristics: vec![1.0, 5.0],
+            seed: 3,
+        }
+    }
+
+    fn quick_config() -> GaKnnConfig {
+        GaKnnConfig {
+            k: 4,
+            ga: GaConfig {
+                population: 16,
+                generations: 10,
+                ..GaConfig::default_seeded(0)
+            },
+            weighting: NeighborWeighting::InverseDistance,
+        }
+    }
+
+    #[test]
+    fn predicts_group_scale_on_targets() {
+        let task = structured_task();
+        let gaknn = GaKnn {
+            config: quick_config(),
+        };
+        let pred = gaknn.predict(&task).unwrap();
+        // Expected: app behaves like group 1 → 25 * (1 + 0.3 t).
+        for (tj, p) in pred.iter().enumerate() {
+            let expected = 25.0 * (1.0 + 0.3 * tj as f64);
+            let rel = (p - expected).abs() / expected;
+            assert!(rel < 0.35, "target {tj}: predicted {p:.1}, expected {expected:.1}");
+        }
+    }
+
+    #[test]
+    fn learned_weights_favor_informative_dimension() {
+        let task = structured_task();
+        let gaknn = GaKnn {
+            config: quick_config(),
+        };
+        let (_, weights) = gaknn.predict_with_weights(&task).unwrap();
+        assert_eq!(weights.len(), 2);
+        assert!(
+            weights[0] > weights[1],
+            "informative dim should outweigh noise: {weights:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let task = structured_task();
+        let gaknn = GaKnn {
+            config: quick_config(),
+        };
+        assert_eq!(gaknn.predict(&task).unwrap(), gaknn.predict(&task).unwrap());
+    }
+
+    #[test]
+    fn k_clamped_to_pool() {
+        let task = structured_task();
+        let gaknn = GaKnn {
+            config: GaKnnConfig {
+                k: 100, // more than available benchmarks
+                ..quick_config()
+            },
+        };
+        let pred = gaknn.predict(&task).unwrap();
+        assert_eq!(pred.len(), task.n_targets());
+    }
+
+    #[test]
+    fn predictions_within_training_score_range() {
+        // kNN averages training scores, so predictions are bounded by them.
+        let task = structured_task();
+        let gaknn = GaKnn {
+            config: quick_config(),
+        };
+        let pred = gaknn.predict(&task).unwrap();
+        let lo = 10.0;
+        let hi = 40.0 * 1.9 + 1.0;
+        assert!(pred.iter().all(|p| (lo..hi).contains(p)));
+    }
+}

@@ -1,0 +1,57 @@
+//! The performance predictors.
+//!
+//! Two data-transposition models (this paper) and the prior-art baseline:
+//!
+//! | Model | Paper name | Idea |
+//! |---|---|---|
+//! | [`NnT`] | NNᵀ | per target machine, linear regression against the best-fitting predictive machine |
+//! | [`MlpT`] | MLPᵀ | neural network mapping a machine's benchmark scores to its app score |
+//! | [`GaKnn`] | GA-kNN | Hoste et al.: GA-weighted workload similarity, k-nearest benchmarks |
+
+mod gaknn;
+mod mlpt;
+mod nnt;
+
+pub use gaknn::{GaKnn, GaKnnConfig};
+pub use mlpt::MlpT;
+pub use nnt::{FitCriterion, NnT};
+
+use crate::task::PredictionTask;
+use crate::Result;
+
+/// A method that predicts the application of interest's score on every
+/// target machine.
+pub trait Predictor {
+    /// Short display name, e.g. `"MLP^T"`.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the app's score on each target machine of `task`, in task
+    /// column order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError`] if the task is malformed or an
+    /// underlying model fails to fit.
+    fn predict(&self, task: &PredictionTask) -> Result<Vec<f64>>;
+}
+
+/// The three methods of the paper's evaluation, boxed for uniform iteration
+/// in experiment harnesses.
+pub fn paper_methods() -> Vec<Box<dyn Predictor + Send + Sync>> {
+    vec![
+        Box::new(NnT::default()),
+        Box::new(MlpT::default()),
+        Box::new(GaKnn::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_methods_named_like_paper() {
+        let names: Vec<&str> = paper_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["NN^T", "MLP^T", "GA-kNN"]);
+    }
+}

@@ -1,0 +1,242 @@
+//! NNᵀ: data transposition through linear regression (paper §3.2.1).
+//!
+//! For every target machine, fit one simple linear regression per
+//! predictive machine — `score_on_target ≈ a · score_on_predictive + b`
+//! over the training benchmarks — and keep the predictive machine whose
+//! model fits best ("the performance for that target machine correlates
+//! best with the performance of the chosen predictive machine"). The app's
+//! score on the target is then read off that single model.
+
+use datatrans_ml::linreg::SimpleLinearRegression;
+
+use crate::model::Predictor;
+use crate::task::PredictionTask;
+use crate::{CoreError, Result};
+
+/// Criterion for choosing the best-fitting predictive machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitCriterion {
+    /// Highest coefficient of determination (paper's choice).
+    #[default]
+    RSquared,
+    /// Lowest residual standard deviation.
+    ResidualStd,
+}
+
+/// The NNᵀ predictor.
+///
+/// `log_domain` optionally fits the regressions on log-scores; SPEC ratios
+/// are ratio-scaled, so this is a natural ablation (off by default to match
+/// the paper).
+#[derive(Debug, Clone, Default)]
+pub struct NnT {
+    /// Model-selection criterion.
+    pub criterion: FitCriterion,
+    /// Fit regressions in log space.
+    pub log_domain: bool,
+}
+
+impl NnT {
+    /// NNᵀ with the paper's settings (R² selection, linear domain).
+    pub fn new() -> Self {
+        NnT::default()
+    }
+
+    /// Returns, for each target machine, the index of the chosen predictive
+    /// machine alongside the prediction. Useful for diagnostics: it shows
+    /// *which* machine the method considered most similar.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Predictor::predict`].
+    pub fn predict_with_neighbors(
+        &self,
+        task: &PredictionTask,
+    ) -> Result<Vec<(f64, usize)>> {
+        task.validate()?;
+        let b = task.n_benchmarks();
+        let p = task.n_predictive();
+        let t = task.n_targets();
+        if b < 3 {
+            return Err(CoreError::invalid_task(
+                "NN^T needs at least 3 training benchmarks",
+            ));
+        }
+
+        let tf = |v: f64| if self.log_domain { v.ln() } else { v };
+        let inv = |v: f64| if self.log_domain { v.exp() } else { v };
+
+        // Pre-extract predictive columns (x vectors are reused across targets).
+        let pred_cols: Vec<Vec<f64>> = (0..p)
+            .map(|j| (0..b).map(|i| tf(task.train_predictive[(i, j)])).collect())
+            .collect();
+        let app_pred: Vec<f64> = task.app_predictive.iter().map(|&v| tf(v)).collect();
+
+        let mut out = Vec::with_capacity(t);
+        for tj in 0..t {
+            let y: Vec<f64> = (0..b).map(|i| tf(task.train_target[(i, tj)])).collect();
+            let mut best: Option<(f64, usize, SimpleLinearRegression)> = None;
+            for (pj, x) in pred_cols.iter().enumerate() {
+                let Ok(fit) = SimpleLinearRegression::fit(x, &y) else {
+                    continue; // constant predictive column — skip
+                };
+                let quality = match self.criterion {
+                    FitCriterion::RSquared => fit.r_squared(),
+                    FitCriterion::ResidualStd => -fit.residual_std(),
+                };
+                if best.as_ref().is_none_or(|(q, _, _)| quality > *q) {
+                    best = Some((quality, pj, fit));
+                }
+            }
+            let (_, pj, fit) = best.ok_or_else(|| {
+                CoreError::invalid_task("no predictive machine admits a regression fit")
+            })?;
+            let raw = fit.predict(app_pred[pj]);
+            // A ratio prediction below zero is meaningless; clamp to a tiny
+            // positive value so downstream ranking metrics stay defined.
+            let score = inv(raw).max(1e-6);
+            out.push((score, pj));
+        }
+        Ok(out)
+    }
+}
+
+impl Predictor for NnT {
+    fn name(&self) -> &'static str {
+        "NN^T"
+    }
+
+    fn predict(&self, task: &PredictionTask) -> Result<Vec<f64>> {
+        Ok(self
+            .predict_with_neighbors(task)?
+            .into_iter()
+            .map(|(score, _)| score)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatrans_linalg::Matrix;
+
+    /// A synthetic task where target machine 0 is an exact linear function
+    /// of predictive machine 1.
+    fn linear_task() -> PredictionTask {
+        // 5 training benchmarks, 2 predictive machines, 1 target.
+        // Predictive 0 is uncorrelated noise, predictive 1 is informative.
+        let p0 = [3.0, 1.0, 2.5, 1.2, 2.8];
+        let p1 = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let target: Vec<f64> = p1.iter().map(|x| 2.0 * x + 1.0).collect();
+        let mut train_predictive = Matrix::zeros(5, 2);
+        let mut train_target = Matrix::zeros(5, 1);
+        for i in 0..5 {
+            train_predictive[(i, 0)] = p0[i];
+            train_predictive[(i, 1)] = p1[i];
+            train_target[(i, 0)] = target[i];
+        }
+        PredictionTask {
+            train_predictive,
+            train_target,
+            app_predictive: vec![10.0, 6.0],
+            train_characteristics: Matrix::zeros(5, 2),
+            app_characteristics: vec![0.0, 0.0],
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn selects_informative_machine_and_extrapolates() {
+        let task = linear_task();
+        let nnt = NnT::default();
+        let with_neighbors = nnt.predict_with_neighbors(&task).unwrap();
+        assert_eq!(with_neighbors.len(), 1);
+        let (score, chosen) = with_neighbors[0];
+        assert_eq!(chosen, 1, "must pick the correlated predictive machine");
+        // app scored 6.0 on machine 1 → target prediction 2*6+1 = 13.
+        assert!((score - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_predict_with_neighbors() {
+        let task = linear_task();
+        let nnt = NnT::default();
+        let a = nnt.predict(&task).unwrap();
+        let b = nnt.predict_with_neighbors(&task).unwrap();
+        assert_eq!(a[0], b[0].0);
+    }
+
+    #[test]
+    fn log_domain_handles_multiplicative_structure() {
+        // target = predictive^2 (multiplicative): log domain fits exactly.
+        let p: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0];
+        let t: Vec<f64> = p.iter().map(|x| x * x).collect();
+        let mut train_predictive = Matrix::zeros(5, 1);
+        let mut train_target = Matrix::zeros(5, 1);
+        for i in 0..5 {
+            train_predictive[(i, 0)] = p[i];
+            train_target[(i, 0)] = t[i];
+        }
+        let task = PredictionTask {
+            train_predictive,
+            train_target,
+            app_predictive: vec![32.0],
+            train_characteristics: Matrix::zeros(5, 1),
+            app_characteristics: vec![0.0],
+            seed: 0,
+        };
+        let nnt = NnT {
+            log_domain: true,
+            ..NnT::default()
+        };
+        let pred = nnt.predict(&task).unwrap();
+        assert!((pred[0] - 1024.0).abs() / 1024.0 < 1e-9);
+    }
+
+    #[test]
+    fn residual_std_criterion_works() {
+        let task = linear_task();
+        let nnt = NnT {
+            criterion: FitCriterion::ResidualStd,
+            ..NnT::default()
+        };
+        let with_neighbors = nnt.predict_with_neighbors(&task).unwrap();
+        assert_eq!(with_neighbors[0].1, 1);
+    }
+
+    #[test]
+    fn prediction_clamped_positive() {
+        // Steep negative relationship drives the raw prediction below zero.
+        let p: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0];
+        let t: Vec<f64> = p.iter().map(|x| 10.0 - 2.5 * x).collect();
+        let mut train_predictive = Matrix::zeros(4, 1);
+        let mut train_target = Matrix::zeros(4, 1);
+        for i in 0..4 {
+            train_predictive[(i, 0)] = p[i];
+            train_target[(i, 0)] = t[i];
+        }
+        let task = PredictionTask {
+            train_predictive,
+            train_target,
+            app_predictive: vec![100.0],
+            train_characteristics: Matrix::zeros(4, 1),
+            app_characteristics: vec![0.0],
+            seed: 0,
+        };
+        let pred = NnT::default().predict(&task).unwrap();
+        assert!(pred[0] > 0.0);
+    }
+
+    #[test]
+    fn too_few_benchmarks_rejected() {
+        let task = PredictionTask {
+            train_predictive: Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap(),
+            train_target: Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap(),
+            app_predictive: vec![1.0],
+            train_characteristics: Matrix::zeros(2, 1),
+            app_characteristics: vec![0.0],
+            seed: 0,
+        };
+        assert!(NnT::default().predict(&task).is_err());
+    }
+}

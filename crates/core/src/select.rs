@@ -1,0 +1,142 @@
+//! Predictive-machine selection (paper §6.5).
+//!
+//! When only a handful of machines can be benchmarked, which ones should
+//! the user buy time on? The paper compares random selection against
+//! k-medoids clustering of the machine population and finds clustering
+//! twice as effective. Machines are clustered by their published benchmark
+//! score vectors (log-scaled and standardized, so the clustering sees
+//! *behaviour*, not absolute speed).
+
+use datatrans_dataset::database::PerfDatabase;
+use datatrans_linalg::Matrix;
+use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
+use datatrans_ml::scale::StandardScaler;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{CoreError, Result};
+
+/// Selects `k` machines from `pool` uniformly at random (deterministic
+/// given `seed`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTask`] if `k` is zero or exceeds the pool.
+pub fn select_random(pool: &[usize], k: usize, seed: u64) -> Result<Vec<usize>> {
+    if k == 0 || k > pool.len() {
+        return Err(CoreError::invalid_task(format!(
+            "cannot select {k} machines from a pool of {}",
+            pool.len()
+        )));
+    }
+    let mut shuffled = pool.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    shuffled.truncate(k);
+    shuffled.sort_unstable();
+    Ok(shuffled)
+}
+
+/// Selects `k` predictive machines from `pool` by k-medoids clustering on
+/// benchmark-score behaviour; the medoids (actual machines) are returned.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidTask`] if `k` is zero, exceeds the pool, or pool
+///   indices are out of range.
+/// * [`CoreError::Ml`] if clustering fails.
+pub fn select_k_medoids(
+    db: &PerfDatabase,
+    pool: &[usize],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    if k == 0 || k > pool.len() {
+        return Err(CoreError::invalid_task(format!(
+            "cannot select {k} medoids from a pool of {}",
+            pool.len()
+        )));
+    }
+    for &m in pool {
+        if m >= db.n_machines() {
+            return Err(CoreError::invalid_task(format!(
+                "machine index {m} out of range"
+            )));
+        }
+    }
+    // Feature vector per machine: log benchmark scores, standardized per
+    // benchmark so every benchmark contributes equally.
+    let raw = Matrix::from_fn(pool.len(), db.n_benchmarks(), |i, b| {
+        db.score(b, pool[i]).ln()
+    });
+    let scaler = StandardScaler::fit(&raw)?;
+    let features = scaler.transform(&raw)?;
+    let clustering = k_medoids(&features, &KMedoidsConfig::new(k, seed))?;
+    let mut chosen: Vec<usize> = clustering.medoids.iter().map(|&i| pool[i]).collect();
+    chosen.sort_unstable();
+    Ok(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatrans_dataset::generator::{generate, DatasetConfig};
+
+    fn db() -> PerfDatabase {
+        generate(&DatasetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn random_selection_is_deterministic_subset() {
+        let pool: Vec<usize> = (0..50).collect();
+        let a = select_random(&pool, 5, 9).unwrap();
+        let b = select_random(&pool, 5, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|m| pool.contains(m)));
+        let c = select_random(&pool, 5, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_selection_validates() {
+        let pool: Vec<usize> = (0..5).collect();
+        assert!(select_random(&pool, 0, 1).is_err());
+        assert!(select_random(&pool, 6, 1).is_err());
+    }
+
+    #[test]
+    fn medoids_come_from_pool_without_duplicates() {
+        let db = db();
+        let pool: Vec<usize> = (0..db.n_machines()).collect();
+        let chosen = select_k_medoids(&db, &pool, 4, 7).unwrap();
+        assert_eq!(chosen.len(), 4);
+        let set: std::collections::BTreeSet<usize> = chosen.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn medoids_are_diverse_across_families() {
+        // With 4 medoids over the whole catalog, at least 3 distinct
+        // processor families should be represented (the paper's example
+        // picks Core 2, Presler, Gainestown, SPARC64 VII).
+        let db = db();
+        let pool: Vec<usize> = (0..db.n_machines()).collect();
+        let chosen = select_k_medoids(&db, &pool, 4, 11).unwrap();
+        let families: std::collections::BTreeSet<_> = chosen
+            .iter()
+            .map(|&m| db.machines()[m].family)
+            .collect();
+        assert!(families.len() >= 3, "families: {families:?}");
+    }
+
+    #[test]
+    fn medoids_validate() {
+        let db = db();
+        let pool: Vec<usize> = (0..10).collect();
+        assert!(select_k_medoids(&db, &pool, 0, 1).is_err());
+        assert!(select_k_medoids(&db, &pool, 11, 1).is_err());
+        assert!(select_k_medoids(&db, &[9999], 1, 1).is_err());
+    }
+}

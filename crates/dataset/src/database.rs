@@ -1,0 +1,245 @@
+//! The assembled performance database: benchmarks × machines score matrix
+//! plus metadata, the synthetic stand-in for the SPEC results archive.
+
+use serde::{Deserialize, Serialize};
+
+use crate::benchmark::Benchmark;
+use crate::machine::{Machine, ProcessorFamily};
+use crate::{DatasetError, Result};
+
+/// A complete performance database.
+///
+/// Scores are SPEC-style speed ratios (higher is better), stored row-major
+/// with **rows = benchmarks** and **columns = machines**, matching the
+/// paper's Figure 2 orientation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfDatabase {
+    benchmarks: Vec<Benchmark>,
+    machines: Vec<Machine>,
+    /// Row-major scores: `scores[b * machines.len() + m]`.
+    scores: Vec<f64>,
+}
+
+impl PerfDatabase {
+    /// Assembles a database from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the score length does not
+    /// equal `benchmarks × machines`, or if any score is not finite and
+    /// positive.
+    pub fn new(
+        benchmarks: Vec<Benchmark>,
+        machines: Vec<Machine>,
+        scores: Vec<f64>,
+    ) -> Result<Self> {
+        if scores.len() != benchmarks.len() * machines.len() {
+            return Err(DatasetError::InvalidConfig {
+                name: "scores length",
+                value: format!(
+                    "{} (expected {} benchmarks × {} machines)",
+                    scores.len(),
+                    benchmarks.len(),
+                    machines.len()
+                ),
+            });
+        }
+        if scores.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(DatasetError::InvalidConfig {
+                name: "scores",
+                value: "must be finite and positive".into(),
+            });
+        }
+        Ok(PerfDatabase {
+            benchmarks,
+            machines,
+            scores,
+        })
+    }
+
+    /// Number of benchmarks (rows).
+    pub fn n_benchmarks(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Number of machines (columns).
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Benchmark metadata.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Machine metadata.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Score of benchmark `b` on machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn score(&self, b: usize, m: usize) -> f64 {
+        assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
+        assert!(m < self.machines.len(), "machine index out of bounds");
+        self.scores[b * self.machines.len() + m]
+    }
+
+    /// All scores of one benchmark across machines (one matrix row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of bounds.
+    pub fn benchmark_row(&self, b: usize) -> &[f64] {
+        assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
+        &self.scores[b * self.machines.len()..(b + 1) * self.machines.len()]
+    }
+
+    /// All scores of one machine across benchmarks (one matrix column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of bounds.
+    pub fn machine_column(&self, m: usize) -> Vec<f64> {
+        assert!(m < self.machines.len(), "machine index out of bounds");
+        (0..self.benchmarks.len()).map(|b| self.score(b, m)).collect()
+    }
+
+    /// Looks up a benchmark index by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::NotFound`] if no benchmark has that name.
+    pub fn benchmark_index(&self, name: &str) -> Result<usize> {
+        self.benchmarks
+            .iter()
+            .position(|b| b.name == name)
+            .ok_or_else(|| DatasetError::NotFound {
+                what: "benchmark",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Indices of all machines belonging to `family`.
+    pub fn machines_in_family(&self, family: ProcessorFamily) -> Vec<usize> {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.family == family)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all machines released in `year`.
+    pub fn machines_in_year(&self, year: u16) -> Vec<usize> {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.year == year)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all machines released strictly before `year`.
+    pub fn machines_before_year(&self, year: u16) -> Vec<usize> {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.year < year)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Exports the score table as CSV: header row of machine names, then
+    /// one row per benchmark.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark");
+        for m in &self.machines {
+            out.push(',');
+            out.push_str(&format!("{} {}", m.family, m.name).replace(',', ";"));
+        }
+        out.push('\n');
+        for (bi, b) in self.benchmarks.iter().enumerate() {
+            out.push_str(&b.name);
+            for mi in 0..self.machines.len() {
+                out.push_str(&format!(",{:.4}", self.score(bi, mi)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, DatasetConfig};
+
+    fn db() -> PerfDatabase {
+        generate(&DatasetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let db = db();
+        assert_eq!(db.n_benchmarks(), 29);
+        assert_eq!(db.n_machines(), 117);
+        assert_eq!(db.benchmark_row(0).len(), 117);
+        assert_eq!(db.machine_column(0).len(), 29);
+    }
+
+    #[test]
+    fn row_column_consistency() {
+        let db = db();
+        assert_eq!(db.benchmark_row(3)[5], db.score(3, 5));
+        assert_eq!(db.machine_column(5)[3], db.score(3, 5));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let db = db();
+        let idx = db.benchmark_index("libquantum").unwrap();
+        assert_eq!(db.benchmarks()[idx].name, "libquantum");
+        assert!(db.benchmark_index("not-a-benchmark").is_err());
+    }
+
+    #[test]
+    fn family_and_year_filters() {
+        let db = db();
+        let xeons = db.machines_in_family(ProcessorFamily::Xeon);
+        assert_eq!(xeons.len(), 39); // 13 nicknames × 3
+        let y2009 = db.machines_in_year(2009);
+        assert!(!y2009.is_empty());
+        let before = db.machines_before_year(2009);
+        assert_eq!(y2009.len() + before.len(), 117); // catalog max year is 2009
+    }
+
+    #[test]
+    fn csv_shape() {
+        let db = db();
+        let csv = db.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 30); // header + 29 benchmarks
+        assert_eq!(lines[0].split(',').count(), 118); // name + 117 machines
+    }
+
+    #[test]
+    fn new_validates() {
+        let db = db();
+        let bad = PerfDatabase::new(
+            db.benchmarks().to_vec(),
+            db.machines().to_vec(),
+            vec![1.0; 5],
+        );
+        assert!(bad.is_err());
+        let neg = PerfDatabase::new(
+            db.benchmarks().to_vec(),
+            db.machines().to_vec(),
+            vec![-1.0; 29 * 117],
+        );
+        assert!(neg.is_err());
+    }
+}

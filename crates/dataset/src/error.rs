@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dataset substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted for display.
+        value: String,
+    },
+    /// An index (machine or benchmark) was out of bounds.
+    IndexOutOfBounds {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The valid bound (exclusive).
+        bound: usize,
+    },
+    /// A lookup by name failed.
+    NotFound {
+        /// What kind of entity.
+        what: &'static str,
+        /// The name that was not found.
+        name: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { name, value } => {
+                write!(f, "invalid configuration {name}: {value}")
+            }
+            DatasetError::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound})")
+            }
+            DatasetError::NotFound { what, name } => {
+                write!(f, "{what} not found: {name}")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DatasetError::IndexOutOfBounds {
+            what: "machine",
+            index: 200,
+            bound: 117,
+        };
+        assert!(e.to_string().contains("machine"));
+        assert!(e.to_string().contains("200"));
+        assert!(DatasetError::NotFound {
+            what: "benchmark",
+            name: "foo".into()
+        }
+        .to_string()
+        .contains("foo"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic assembly of the full performance database.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::benchmark::spec_cpu2006;
+use crate::catalog::build_machines;
+use crate::database::PerfDatabase;
+use crate::perf_model::spec_ratio;
+use crate::{DatasetError, Result};
+
+/// Configuration of the dataset generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Master seed. Everything — machine jitter, measurement noise — is a
+    /// pure function of this value.
+    pub seed: u64,
+    /// Standard deviation of multiplicative lognormal measurement noise on
+    /// each score. SPEC run-to-run variation is on the order of 1–2%.
+    pub noise_sigma: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            seed: 0xDA7A_72A5,
+            noise_sigma: 0.015,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `noise_sigma` is negative
+    /// or not finite.
+    pub fn validate(&self) -> Result<()> {
+        if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 || self.noise_sigma > 0.5 {
+            return Err(DatasetError::InvalidConfig {
+                name: "noise_sigma",
+                value: self.noise_sigma.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates the complete 29 × 117 performance database.
+///
+/// Pipeline: build the Table 1 machine catalog (with per-instance
+/// variation), evaluate the CPI-stack model for every (benchmark, machine)
+/// pair, then apply multiplicative lognormal measurement noise.
+/// Deterministic given `config.seed`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] on invalid configuration.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_dataset::generator::{generate, DatasetConfig};
+///
+/// # fn main() -> Result<(), datatrans_dataset::DatasetError> {
+/// let db = generate(&DatasetConfig { seed: 7, noise_sigma: 0.01 })?;
+/// assert_eq!(db.n_benchmarks() * db.n_machines(), 29 * 117);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(config: &DatasetConfig) -> Result<PerfDatabase> {
+    config.validate()?;
+    let benchmarks = spec_cpu2006();
+    let machines = build_machines(config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xA24B_AED4_963E_E407));
+
+    let mut scores = Vec::with_capacity(benchmarks.len() * machines.len());
+    for b in &benchmarks {
+        for m in &machines {
+            let clean = spec_ratio(&m.micro, &b.characteristics);
+            let noisy = clean * (config.noise_sigma * gaussian(&mut rng)).exp();
+            scores.push(noisy);
+        }
+    }
+    PerfDatabase::new(benchmarks, machines, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&DatasetConfig::default()).unwrap();
+        let b = generate(&DatasetConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DatasetConfig { seed: 1, noise_sigma: 0.015 }).unwrap();
+        let b = generate(&DatasetConfig { seed: 2, noise_sigma: 0.015 }).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_noise_matches_model_exactly() {
+        let db = generate(&DatasetConfig { seed: 5, noise_sigma: 0.0 }).unwrap();
+        let b = &db.benchmarks()[0];
+        let m = &db.machines()[0];
+        let expected = spec_ratio(&m.micro, &b.characteristics);
+        assert!((db.score(0, 0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_small_relative_perturbation() {
+        let clean = generate(&DatasetConfig { seed: 5, noise_sigma: 0.0 }).unwrap();
+        let noisy = generate(&DatasetConfig { seed: 5, noise_sigma: 0.015 }).unwrap();
+        for b in 0..clean.n_benchmarks() {
+            for m in 0..clean.n_machines() {
+                let rel = (noisy.score(b, m) / clean.score(b, m)).ln().abs();
+                assert!(rel < 0.1, "noise too large: {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_config() {
+        assert!(generate(&DatasetConfig { seed: 1, noise_sigma: -0.1 }).is_err());
+        assert!(generate(&DatasetConfig { seed: 1, noise_sigma: 0.9 }).is_err());
+        assert!(generate(&DatasetConfig { seed: 1, noise_sigma: f64::NAN }).is_err());
+    }
+
+    #[test]
+    fn scores_positive_and_finite() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        for b in 0..db.n_benchmarks() {
+            for m in 0..db.n_machines() {
+                let s = db.score(b, m);
+                assert!(s.is_finite() && s > 0.0);
+            }
+        }
+    }
+}

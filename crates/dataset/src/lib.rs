@@ -1,0 +1,58 @@
+//! Synthetic SPEC CPU2006-like performance database.
+//!
+//! The paper evaluates data transposition on SPEC CPU2006 speed-base ratios
+//! for 117 commercial machines (Table 1). Those published measurements are
+//! not redistributable, so this crate builds the closest synthetic
+//! equivalent:
+//!
+//! * [`catalog`] — the full Table 1 machine catalog: 17 processor families,
+//!   39 CPU nicknames, 3 machines per nickname = 117 machines, each with
+//!   latent microarchitecture parameters ([`microarch::MicroArch`]) and a
+//!   release year.
+//! * [`benchmark`] — the 29 SPEC CPU2006 benchmarks with latent workload
+//!   demand vectors ([`characteristics::WorkloadCharacteristics`]),
+//!   including the outlier profiles the paper discusses (`libquantum`,
+//!   `cactusADM`, `leslie3d`, `lbm` as streaming outliers; `namd`, `hmmer`
+//!   as regular compute outliers).
+//! * [`perf_model`] — an analytical CPI-stack model turning (machine,
+//!   workload) pairs into execution times, and SPEC-style speed ratios
+//!   against a modeled SUN Ultra5 296 MHz reference.
+//! * [`generator`] — deterministic, seeded assembly of the full
+//!   [`database::PerfDatabase`], with measurement noise.
+//! * [`workload_synth`] — synthesis of *applications of interest* that are
+//!   not part of the suite, for end-to-end examples.
+//!
+//! # Example
+//!
+//! ```
+//! use datatrans_dataset::generator::{generate, DatasetConfig};
+//!
+//! # fn main() -> Result<(), datatrans_dataset::DatasetError> {
+//! let db = generate(&DatasetConfig::default())?;
+//! assert_eq!(db.n_benchmarks(), 29);
+//! assert_eq!(db.n_machines(), 117);
+//! let score = db.score(0, 0); // SPEC-style ratio, > 1 for modern machines
+//! assert!(score > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod benchmark;
+pub mod catalog;
+pub mod characteristics;
+pub mod database;
+pub mod generator;
+pub mod machine;
+pub mod microarch;
+pub mod perf_model;
+pub mod workload_synth;
+
+pub use error::DatasetError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;

@@ -1,0 +1,188 @@
+//! Machine identity: vendor, processor family, CPU nickname, release year.
+
+use serde::{Deserialize, Serialize};
+
+use crate::microarch::MicroArch;
+
+/// Hardware vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Advanced Micro Devices.
+    Amd,
+    /// International Business Machines.
+    Ibm,
+    /// Intel Corporation.
+    Intel,
+    /// Sun Microsystems / Fujitsu (SPARC).
+    Sun,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vendor::Amd => write!(f, "AMD"),
+            Vendor::Ibm => write!(f, "IBM"),
+            Vendor::Intel => write!(f, "Intel"),
+            Vendor::Sun => write!(f, "Sun"),
+        }
+    }
+}
+
+/// The 17 processor families of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProcessorFamily {
+    /// AMD Opteron (K10).
+    OpteronK10,
+    /// AMD Opteron (K8).
+    OpteronK8,
+    /// AMD Phenom.
+    Phenom,
+    /// AMD Turion.
+    Turion,
+    /// IBM POWER5.
+    Power5,
+    /// IBM POWER6.
+    Power6,
+    /// Intel Core 2.
+    Core2,
+    /// Intel Core Duo.
+    CoreDuo,
+    /// Intel Core i7.
+    CoreI7,
+    /// Intel Itanium.
+    Itanium,
+    /// Intel Pentium D.
+    PentiumD,
+    /// Intel Pentium Dual-Core.
+    PentiumDualCore,
+    /// Intel Pentium M.
+    PentiumM,
+    /// Intel Xeon.
+    Xeon,
+    /// SPARC64 VI.
+    Sparc64Vi,
+    /// SPARC64 VII.
+    Sparc64Vii,
+    /// UltraSPARC III.
+    UltraSparcIii,
+}
+
+impl ProcessorFamily {
+    /// All 17 families in Table 1 order.
+    pub const ALL: [ProcessorFamily; 17] = [
+        ProcessorFamily::OpteronK10,
+        ProcessorFamily::OpteronK8,
+        ProcessorFamily::Phenom,
+        ProcessorFamily::Turion,
+        ProcessorFamily::Power5,
+        ProcessorFamily::Power6,
+        ProcessorFamily::Core2,
+        ProcessorFamily::CoreDuo,
+        ProcessorFamily::CoreI7,
+        ProcessorFamily::Itanium,
+        ProcessorFamily::PentiumD,
+        ProcessorFamily::PentiumDualCore,
+        ProcessorFamily::PentiumM,
+        ProcessorFamily::Xeon,
+        ProcessorFamily::Sparc64Vi,
+        ProcessorFamily::Sparc64Vii,
+        ProcessorFamily::UltraSparcIii,
+    ];
+
+    /// Vendor of the family.
+    pub fn vendor(&self) -> Vendor {
+        match self {
+            ProcessorFamily::OpteronK10
+            | ProcessorFamily::OpteronK8
+            | ProcessorFamily::Phenom
+            | ProcessorFamily::Turion => Vendor::Amd,
+            ProcessorFamily::Power5 | ProcessorFamily::Power6 => Vendor::Ibm,
+            ProcessorFamily::Core2
+            | ProcessorFamily::CoreDuo
+            | ProcessorFamily::CoreI7
+            | ProcessorFamily::Itanium
+            | ProcessorFamily::PentiumD
+            | ProcessorFamily::PentiumDualCore
+            | ProcessorFamily::PentiumM
+            | ProcessorFamily::Xeon => Vendor::Intel,
+            ProcessorFamily::Sparc64Vi
+            | ProcessorFamily::Sparc64Vii
+            | ProcessorFamily::UltraSparcIii => Vendor::Sun,
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessorFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ProcessorFamily::OpteronK10 => "AMD Opteron (K10)",
+            ProcessorFamily::OpteronK8 => "AMD Opteron (K8)",
+            ProcessorFamily::Phenom => "AMD Phenom",
+            ProcessorFamily::Turion => "AMD Turion",
+            ProcessorFamily::Power5 => "IBM POWER 5",
+            ProcessorFamily::Power6 => "IBM POWER 6",
+            ProcessorFamily::Core2 => "Intel Core 2",
+            ProcessorFamily::CoreDuo => "Intel Core Duo",
+            ProcessorFamily::CoreI7 => "Intel Core i7",
+            ProcessorFamily::Itanium => "Intel Itanium",
+            ProcessorFamily::PentiumD => "Intel Pentium D",
+            ProcessorFamily::PentiumDualCore => "Intel Pentium Dual-Core",
+            ProcessorFamily::PentiumM => "Intel Pentium M",
+            ProcessorFamily::Xeon => "Intel Xeon",
+            ProcessorFamily::Sparc64Vi => "SPARC64 VI",
+            ProcessorFamily::Sparc64Vii => "SPARC64 VII",
+            ProcessorFamily::UltraSparcIii => "UltraSPARC III",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One commercial machine in the performance database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Unique display name, e.g. `"Gainestown #2"`.
+    pub name: String,
+    /// Processor family (Table 1 row).
+    pub family: ProcessorFamily,
+    /// CPU nickname within the family, e.g. `"Gainestown"`.
+    pub nickname: String,
+    /// Release year of the system.
+    pub year: u16,
+    /// Latent microarchitecture parameters driving the performance model.
+    pub micro: MicroArch,
+}
+
+impl Machine {
+    /// Vendor, derived from the family.
+    pub fn vendor(&self) -> Vendor {
+        self.family.vendor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_families() {
+        assert_eq!(ProcessorFamily::ALL.len(), 17);
+        // All distinct.
+        let set: std::collections::BTreeSet<_> = ProcessorFamily::ALL.iter().collect();
+        assert_eq!(set.len(), 17);
+    }
+
+    #[test]
+    fn vendors_match_table1() {
+        assert_eq!(ProcessorFamily::OpteronK10.vendor(), Vendor::Amd);
+        assert_eq!(ProcessorFamily::Power6.vendor(), Vendor::Ibm);
+        assert_eq!(ProcessorFamily::Xeon.vendor(), Vendor::Intel);
+        assert_eq!(ProcessorFamily::Sparc64Vii.vendor(), Vendor::Sun);
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(ProcessorFamily::OpteronK10.to_string(), "AMD Opteron (K10)");
+        assert_eq!(ProcessorFamily::UltraSparcIii.to_string(), "UltraSPARC III");
+        assert_eq!(Vendor::Amd.to_string(), "AMD");
+    }
+}

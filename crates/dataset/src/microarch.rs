@@ -1,0 +1,127 @@
+//! Latent microarchitecture parameters.
+//!
+//! Each machine carries a [`MicroArch`] vector that the CPI-stack
+//! performance model consumes. The values for the catalog machines are
+//! realistic for the era (frequency, cache sizes, memory latency and
+//! bandwidth) but are *model parameters*, not measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Latent microarchitecture parameter vector of one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroArch {
+    /// Core clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Superscalar issue width.
+    pub width: f64,
+    /// Dynamic pipeline efficiency in `(0, 1]` — how much of the width an
+    /// out-of-order engine sustains on irregular code.
+    pub pipeline_eff: f64,
+    /// Additional efficiency earned on *regular* code (software pipelining,
+    /// predication). Dominant for in-order/EPIC designs, small for OoO.
+    pub static_bonus: f64,
+    /// L1 data cache size in KiB.
+    pub l1d_kib: f64,
+    /// L2 cache size in KiB (per core / effective).
+    pub l2_kib: f64,
+    /// L3 cache size in KiB; `0` if absent.
+    pub l3_kib: f64,
+    /// L2 hit latency in cycles.
+    pub l2_lat_cycles: f64,
+    /// L3 hit latency in cycles (unused when no L3).
+    pub l3_lat_cycles: f64,
+    /// Main-memory latency in nanoseconds.
+    pub mem_lat_ns: f64,
+    /// Sustainable memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Branch misprediction penalty in cycles.
+    pub branch_penalty: f64,
+    /// Scale on a workload's baseline misprediction rate: `< 1` is a better
+    /// predictor than the baseline, `> 1` worse.
+    pub branch_pred_scale: f64,
+    /// Extra cycles per floating-point instruction (lower = stronger FPU).
+    pub fp_cost: f64,
+    /// Hardware prefetcher effectiveness in `[0, 1]` on streaming accesses.
+    pub prefetch_eff: f64,
+    /// Fraction of a workload's memory-level parallelism the core can
+    /// actually exploit, in `[0, 1]` (OoO depth, MSHRs).
+    pub mlp_capability: f64,
+    /// Compiler/ISA gain on *regular, high-ILP* code: the fraction of
+    /// dynamic work eliminated by software pipelining and predication.
+    /// Dominant for EPIC (Itanium + icc), near zero elsewhere.
+    pub compiler_gain: f64,
+}
+
+impl MicroArch {
+    /// Sanity-checks parameter ranges.
+    pub fn is_plausible(&self) -> bool {
+        self.freq_ghz > 0.05
+            && self.freq_ghz < 6.0
+            && self.width >= 1.0
+            && self.width <= 8.0
+            && self.pipeline_eff > 0.0
+            && self.pipeline_eff <= 1.0
+            && self.static_bonus >= 0.0
+            && self.static_bonus <= 1.0
+            && self.l1d_kib > 0.0
+            && self.l2_kib >= 0.0
+            && self.l3_kib >= 0.0
+            && self.l2_lat_cycles > 0.0
+            && self.l3_lat_cycles > 0.0
+            && self.mem_lat_ns > 0.0
+            && self.mem_bw_gbs > 0.0
+            && self.branch_penalty > 0.0
+            && self.branch_pred_scale > 0.0
+            && self.fp_cost >= 0.0
+            && (0.0..=1.0).contains(&self.prefetch_eff)
+            && (0.0..=1.0).contains(&self.mlp_capability)
+            && (0.0..=1.0).contains(&self.compiler_gain)
+    }
+
+    /// The modeled SUN Ultra5 (296 MHz UltraSPARC IIi) SPEC reference
+    /// machine: narrow in-order core, small off-chip L2, slow memory.
+    pub fn ultra5_reference() -> Self {
+        MicroArch {
+            freq_ghz: 0.296,
+            width: 2.0,
+            pipeline_eff: 0.45,
+            static_bonus: 0.10,
+            l1d_kib: 16.0,
+            l2_kib: 2048.0,
+            l3_kib: 0.0,
+            l2_lat_cycles: 10.0,
+            l3_lat_cycles: 30.0,
+            mem_lat_ns: 250.0,
+            mem_bw_gbs: 0.5,
+            branch_penalty: 4.0,
+            branch_pred_scale: 1.6,
+            fp_cost: 1.2,
+            prefetch_eff: 0.0,
+            mlp_capability: 0.05,
+            compiler_gain: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_machine_is_plausible() {
+        assert!(MicroArch::ultra5_reference().is_plausible());
+    }
+
+    #[test]
+    fn plausibility_rejects_out_of_range() {
+        let mut m = MicroArch::ultra5_reference();
+        m.freq_ghz = 10.0;
+        assert!(!m.is_plausible());
+        let mut m = MicroArch::ultra5_reference();
+        m.pipeline_eff = 0.0;
+        assert!(!m.is_plausible());
+        let mut m = MicroArch::ultra5_reference();
+        m.prefetch_eff = 1.5;
+        assert!(!m.is_plausible());
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthesis of *applications of interest* that are not part of the suite.
+//!
+//! The paper's leave-one-out evaluation treats each benchmark as the
+//! application of interest. Real deployments, however, care about programs
+//! outside the suite — a phone company's codec, an ISP's proxy. This module
+//! generates such workloads from domain-flavoured priors so the examples
+//! and application-layer tests can exercise the full pipeline, including an
+//! oracle (the performance model itself) to grade predictions against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::characteristics::WorkloadCharacteristics;
+
+/// Domain flavour of a synthesized application of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadProfile {
+    /// Control-heavy integer code: interpreters, protocol parsing.
+    ServerInteger,
+    /// Dense numeric kernels: simulation, signal processing.
+    Scientific,
+    /// Large-footprint streaming: analytics scans, media transcoding.
+    Streaming,
+    /// Pointer-chasing, latency-bound: in-memory databases, graphs.
+    PointerChasing,
+    /// Embedded/control code with small working sets.
+    Embedded,
+}
+
+impl WorkloadProfile {
+    /// All profiles, for enumeration in examples and tests.
+    pub const ALL: [WorkloadProfile; 5] = [
+        WorkloadProfile::ServerInteger,
+        WorkloadProfile::Scientific,
+        WorkloadProfile::Streaming,
+        WorkloadProfile::PointerChasing,
+        WorkloadProfile::Embedded,
+    ];
+}
+
+impl std::fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            WorkloadProfile::ServerInteger => "server-integer",
+            WorkloadProfile::Scientific => "scientific",
+            WorkloadProfile::Streaming => "streaming",
+            WorkloadProfile::PointerChasing => "pointer-chasing",
+            WorkloadProfile::Embedded => "embedded",
+        };
+        write!(f, "{name}")
+    }
+}
+
+fn jitter(rng: &mut StdRng, base: f64, spread: f64, lo: f64, hi: f64) -> f64 {
+    (base * (1.0 + rng.gen_range(-spread..spread))).clamp(lo, hi)
+}
+
+/// Synthesizes an application of interest with the given domain flavour.
+///
+/// Deterministic given `(profile, seed)`. The result always satisfies
+/// [`WorkloadCharacteristics::is_plausible`].
+///
+/// # Example
+///
+/// ```
+/// use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
+///
+/// let app = synthesize(WorkloadProfile::Streaming, 42);
+/// assert!(app.stream_fraction > 0.3);
+/// assert!(app.is_plausible());
+/// ```
+pub fn synthesize(profile: WorkloadProfile, seed: u64) -> WorkloadCharacteristics {
+    let mut rng = StdRng::seed_from_u64(seed ^ (profile as u64).wrapping_mul(0x9E37_79B9));
+    let w = match profile {
+        WorkloadProfile::ServerInteger => WorkloadCharacteristics {
+            instr_e9: jitter(&mut rng, 1200.0, 0.4, 100.0, 5000.0),
+            ilp: jitter(&mut rng, 1.8, 0.3, 1.0, 3.0),
+            fp_fraction: jitter(&mut rng, 0.02, 0.9, 0.0, 0.1),
+            mem_fraction: jitter(&mut rng, 0.33, 0.2, 0.2, 0.45),
+            branch_fraction: jitter(&mut rng, 0.20, 0.2, 0.1, 0.3),
+            mispredict_rate: jitter(&mut rng, 0.08, 0.4, 0.02, 0.15),
+            working_set_mib: jitter(&mut rng, 30.0, 0.8, 1.0, 200.0),
+            stream_fraction: jitter(&mut rng, 0.07, 0.8, 0.0, 0.25),
+            locality_alpha: jitter(&mut rng, 0.42, 0.3, 0.2, 0.8),
+            bandwidth_demand: jitter(&mut rng, 1.5, 0.5, 0.1, 5.0),
+            mlp: jitter(&mut rng, 1.4, 0.3, 1.0, 2.5),
+            regularity: jitter(&mut rng, 0.18, 0.6, 0.0, 0.5),
+        },
+        WorkloadProfile::Scientific => WorkloadCharacteristics {
+            instr_e9: jitter(&mut rng, 2800.0, 0.4, 500.0, 8000.0),
+            ilp: jitter(&mut rng, 3.4, 0.4, 1.5, 6.5),
+            fp_fraction: jitter(&mut rng, 0.42, 0.2, 0.25, 0.55),
+            mem_fraction: jitter(&mut rng, 0.30, 0.2, 0.2, 0.42),
+            branch_fraction: jitter(&mut rng, 0.06, 0.4, 0.02, 0.12),
+            mispredict_rate: jitter(&mut rng, 0.012, 0.5, 0.003, 0.04),
+            working_set_mib: jitter(&mut rng, 50.0, 0.9, 1.0, 400.0),
+            stream_fraction: jitter(&mut rng, 0.20, 0.8, 0.0, 0.5),
+            locality_alpha: jitter(&mut rng, 0.55, 0.3, 0.3, 0.9),
+            bandwidth_demand: jitter(&mut rng, 3.5, 0.7, 0.3, 9.0),
+            mlp: jitter(&mut rng, 1.9, 0.4, 1.0, 3.0),
+            regularity: jitter(&mut rng, 0.72, 0.3, 0.3, 1.0),
+        },
+        WorkloadProfile::Streaming => WorkloadCharacteristics {
+            instr_e9: jitter(&mut rng, 1700.0, 0.4, 300.0, 5000.0),
+            ilp: jitter(&mut rng, 2.7, 0.3, 1.5, 4.0),
+            fp_fraction: jitter(&mut rng, 0.2, 0.9, 0.0, 0.45),
+            mem_fraction: jitter(&mut rng, 0.38, 0.15, 0.25, 0.48),
+            branch_fraction: jitter(&mut rng, 0.08, 0.5, 0.02, 0.18),
+            mispredict_rate: jitter(&mut rng, 0.012, 0.5, 0.003, 0.05),
+            working_set_mib: jitter(&mut rng, 200.0, 0.8, 32.0, 800.0),
+            stream_fraction: jitter(&mut rng, 0.65, 0.25, 0.35, 0.95),
+            locality_alpha: jitter(&mut rng, 0.65, 0.2, 0.4, 0.9),
+            bandwidth_demand: jitter(&mut rng, 9.0, 0.4, 3.0, 16.0),
+            mlp: jitter(&mut rng, 2.8, 0.3, 1.5, 4.0),
+            regularity: jitter(&mut rng, 0.8, 0.2, 0.4, 1.0),
+        },
+        WorkloadProfile::PointerChasing => WorkloadCharacteristics {
+            instr_e9: jitter(&mut rng, 700.0, 0.5, 100.0, 3000.0),
+            ilp: jitter(&mut rng, 1.3, 0.2, 1.0, 2.0),
+            fp_fraction: jitter(&mut rng, 0.01, 0.9, 0.0, 0.05),
+            mem_fraction: jitter(&mut rng, 0.40, 0.12, 0.3, 0.48),
+            branch_fraction: jitter(&mut rng, 0.18, 0.25, 0.1, 0.28),
+            mispredict_rate: jitter(&mut rng, 0.07, 0.4, 0.02, 0.15),
+            working_set_mib: jitter(&mut rng, 250.0, 0.8, 32.0, 900.0),
+            stream_fraction: jitter(&mut rng, 0.15, 0.7, 0.0, 0.35),
+            locality_alpha: jitter(&mut rng, 0.35, 0.3, 0.15, 0.6),
+            bandwidth_demand: jitter(&mut rng, 2.5, 0.5, 0.5, 6.0),
+            mlp: jitter(&mut rng, 1.7, 0.4, 1.0, 3.0),
+            regularity: jitter(&mut rng, 0.10, 0.8, 0.0, 0.3),
+        },
+        WorkloadProfile::Embedded => WorkloadCharacteristics {
+            instr_e9: jitter(&mut rng, 400.0, 0.6, 20.0, 1500.0),
+            ilp: jitter(&mut rng, 2.2, 0.4, 1.0, 4.5),
+            fp_fraction: jitter(&mut rng, 0.08, 0.9, 0.0, 0.3),
+            mem_fraction: jitter(&mut rng, 0.28, 0.25, 0.15, 0.4),
+            branch_fraction: jitter(&mut rng, 0.16, 0.3, 0.08, 0.25),
+            mispredict_rate: jitter(&mut rng, 0.045, 0.5, 0.01, 0.12),
+            working_set_mib: jitter(&mut rng, 2.0, 0.9, 0.1, 16.0),
+            stream_fraction: jitter(&mut rng, 0.06, 0.9, 0.0, 0.3),
+            locality_alpha: jitter(&mut rng, 0.55, 0.3, 0.3, 0.9),
+            bandwidth_demand: jitter(&mut rng, 0.8, 0.7, 0.05, 3.0),
+            mlp: jitter(&mut rng, 1.3, 0.3, 1.0, 2.2),
+            regularity: jitter(&mut rng, 0.45, 0.5, 0.1, 0.9),
+        },
+    };
+    debug_assert!(w.is_plausible());
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_plausible_across_seeds() {
+        for profile in WorkloadProfile::ALL {
+            for seed in 0..50 {
+                let w = synthesize(profile, seed);
+                assert!(w.is_plausible(), "{profile} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        for profile in WorkloadProfile::ALL {
+            assert_eq!(synthesize(profile, 9), synthesize(profile, 9));
+        }
+        assert_ne!(
+            synthesize(WorkloadProfile::Embedded, 1),
+            synthesize(WorkloadProfile::Embedded, 2)
+        );
+    }
+
+    #[test]
+    fn profiles_have_distinct_flavours() {
+        let server = synthesize(WorkloadProfile::ServerInteger, 3);
+        let sci = synthesize(WorkloadProfile::Scientific, 3);
+        let stream = synthesize(WorkloadProfile::Streaming, 3);
+        let ptr = synthesize(WorkloadProfile::PointerChasing, 3);
+        assert!(server.fp_fraction < 0.15);
+        assert!(sci.fp_fraction > 0.2);
+        assert!(stream.stream_fraction > ptr.stream_fraction);
+        assert!(ptr.ilp < sci.ilp);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkloadProfile::Streaming.to_string(), "streaming");
+        assert_eq!(WorkloadProfile::ALL.len(), 5);
+    }
+}

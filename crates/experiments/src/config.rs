@@ -1,0 +1,154 @@
+//! Shared experiment configuration.
+
+use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
+use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_ml::ga::GaConfig;
+use datatrans_ml::mlp::MlpConfig;
+
+use crate::Result;
+
+/// Configuration shared by all experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Dataset generation parameters (seed + measurement noise).
+    pub dataset: DatasetConfig,
+    /// Base seed for model training and subset draws.
+    pub seed: u64,
+    /// Scale factor for stochastic-repeat counts (random trials in Table 4
+    /// and Figure 8). `1.0` reproduces the paper's counts; smaller values
+    /// give quick approximate runs for tests and benches.
+    pub trial_scale: f64,
+    /// Restrict the leave-one-out loop to this many applications
+    /// (`None` = all 29). Used by smoke tests and benches.
+    pub max_apps: Option<usize>,
+    /// MLPᵀ training epochs (paper/WEKA default: 500).
+    pub mlp_epochs: usize,
+    /// GA-kNN population size (default 32).
+    pub ga_population: usize,
+    /// GA-kNN generations (default 40).
+    pub ga_generations: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            dataset: DatasetConfig::default(),
+            seed: 0xBEEF,
+            trial_scale: 1.0,
+            max_apps: None,
+            mlp_epochs: 500,
+            ga_population: 32,
+            ga_generations: 40,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for fast smoke runs (tests, benches).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            trial_scale: 0.1,
+            max_apps: Some(4),
+            mlp_epochs: 60,
+            ga_population: 12,
+            ga_generations: 6,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The paper's three methods with this configuration's budgets.
+    pub fn methods(&self) -> Vec<Box<dyn Predictor + Send + Sync>> {
+        let mlp_config = MlpConfig {
+            epochs: self.mlp_epochs,
+            ..MlpConfig::weka_default(0)
+        };
+        let ga = GaConfig {
+            population: self.ga_population,
+            generations: self.ga_generations,
+            ..GaConfig::default_seeded(0)
+        };
+        vec![
+            Box::new(NnT::default()),
+            Box::new(MlpT {
+                config: mlp_config,
+                log_domain: true,
+            }),
+            Box::new(GaKnn {
+                config: GaKnnConfig {
+                    ga,
+                    ..GaKnnConfig::default()
+                },
+            }),
+        ]
+    }
+
+    /// The two data-transposition methods only (Table 4 evaluates NNᵀ and
+    /// MLPᵀ; GA-kNN does not use predictive machines).
+    pub fn transposition_methods(&self) -> Vec<Box<dyn Predictor + Send + Sync>> {
+        let mut m = self.methods();
+        m.truncate(2);
+        m
+    }
+
+    /// Generates the dataset for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generation failures.
+    pub fn build_database(&self) -> Result<PerfDatabase> {
+        Ok(generate(&self.dataset)?)
+    }
+
+    /// The application indices to evaluate.
+    pub fn app_indices(&self, db: &PerfDatabase) -> Option<Vec<usize>> {
+        self.max_apps
+            .map(|n| (0..db.n_benchmarks().min(n)).collect())
+    }
+
+    /// Scales a nominal trial count, keeping at least one trial.
+    pub fn scaled_trials(&self, nominal: usize) -> usize {
+        ((nominal as f64 * self.trial_scale).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reduces_work() {
+        let q = ExperimentConfig::quick();
+        assert_eq!(q.scaled_trials(50), 5);
+        assert_eq!(q.max_apps, Some(4));
+        let full = ExperimentConfig::default();
+        assert_eq!(full.scaled_trials(50), 50);
+        assert_eq!(full.max_apps, None);
+    }
+
+    #[test]
+    fn app_indices_respects_cap() {
+        let db = ExperimentConfig::default().build_database().unwrap();
+        assert!(ExperimentConfig::default().app_indices(&db).is_none());
+        let q = ExperimentConfig::quick();
+        assert_eq!(q.app_indices(&db).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn methods_honour_budgets() {
+        let q = ExperimentConfig::quick();
+        let methods = q.methods();
+        assert_eq!(methods.len(), 3);
+        let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["NN^T", "MLP^T", "GA-kNN"]);
+        let two = q.transposition_methods();
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn scaled_trials_floors_at_one() {
+        let mut c = ExperimentConfig::default();
+        c.trial_scale = 0.001;
+        assert_eq!(c.scaled_trials(50), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 6: per-benchmark Spearman rank correlation for the three
+//! methods, with Minimum and Average summary bars.
+
+use std::fmt;
+
+use datatrans_core::eval::CvReport;
+
+use crate::textplot::grouped_bar_chart;
+use crate::{table2, ExperimentConfig, Result};
+
+/// Figure 6 output: one row per benchmark plus Minimum/Average rows.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Method names, series order.
+    pub methods: Vec<String>,
+    /// `(benchmark, rank correlation per method)` rows in suite order,
+    /// ending with "Minimum" and "Average" summary rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Computes Figure 6 from a family-cross-validation report.
+///
+/// # Errors
+///
+/// Propagates aggregation failures.
+pub fn from_report(report: &CvReport) -> Result<Fig6Result> {
+    let methods = report.methods();
+    let apps = report.apps();
+    let mut rows = Vec::with_capacity(apps.len() + 2);
+    for app in &apps {
+        let values: Vec<f64> = methods
+            .iter()
+            .map(|m| {
+                report
+                    .aggregate_method_app(m, app)
+                    .map(|a| a.mean_rank_correlation)
+            })
+            .collect::<Result<_>>()?;
+        rows.push((app.clone(), values));
+    }
+    // Summary rows, mirroring the figure's "Minimum" and "Average" bars.
+    let minimum: Vec<f64> = (0..methods.len())
+        .map(|mi| {
+            rows.iter()
+                .map(|(_, v)| v[mi])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let average: Vec<f64> = (0..methods.len())
+        .map(|mi| rows.iter().map(|(_, v)| v[mi]).sum::<f64>() / rows.len() as f64)
+        .collect();
+    rows.push(("Minimum".to_owned(), minimum));
+    rows.push(("Average".to_owned(), average));
+    Ok(Fig6Result { methods, rows })
+}
+
+/// Runs the underlying cross-validation and computes Figure 6.
+///
+/// # Errors
+///
+/// Propagates harness and model failures.
+pub fn run(config: &ExperimentConfig) -> Result<Fig6Result> {
+    let t2 = table2::run(config)?;
+    from_report(&t2.report)
+}
+
+impl Fig6Result {
+    /// Row lookup by benchmark name.
+    pub fn row(&self, name: &str) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+impl fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.methods.iter().map(|s| s.as_str()).collect();
+        write!(
+            f,
+            "{}",
+            grouped_bar_chart(
+                "Figure 6: Spearman rank correlation per benchmark",
+                &names,
+                &self.rows,
+                1.0,
+                40,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shapes() {
+        let result = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(result.methods.len(), 3);
+        // 4 quick apps + Minimum + Average.
+        assert_eq!(result.rows.len(), 6);
+        assert!(result.row("Minimum").is_some());
+        assert!(result.row("Average").is_some());
+        assert!(result.row("nope").is_none());
+        // Minimum <= Average per method.
+        let min = result.row("Minimum").unwrap().to_vec();
+        let avg = result.row("Average").unwrap().to_vec();
+        for (lo, mean) in min.iter().zip(&avg) {
+            assert!(lo <= mean);
+        }
+        let text = result.to_string();
+        assert!(text.contains("Figure 6"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 7: per-benchmark top-1 prediction error for the three methods,
+//! with Maximum and Average summary bars.
+
+use std::fmt;
+
+use datatrans_core::eval::CvReport;
+
+use crate::textplot::grouped_bar_chart;
+use crate::{table2, ExperimentConfig, Result};
+
+/// Figure 7 output: one row per benchmark plus Maximum/Average rows.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Method names, series order.
+    pub methods: Vec<String>,
+    /// `(benchmark, top-1 error % per method)` rows in suite order, ending
+    /// with "Maximum" and "Average" summary rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Computes Figure 7 from a family-cross-validation report.
+///
+/// Bars are per-benchmark mean top-1 errors across folds, matching the
+/// paper's reading (Table 2's bracketed worst case equals the tallest
+/// Figure 7 bar).
+///
+/// # Errors
+///
+/// Propagates aggregation failures.
+pub fn from_report(report: &CvReport) -> Result<Fig7Result> {
+    let methods = report.methods();
+    let apps = report.apps();
+    let mut rows = Vec::with_capacity(apps.len() + 2);
+    for app in &apps {
+        let values: Vec<f64> = methods
+            .iter()
+            .map(|m| {
+                report
+                    .aggregate_method_app(m, app)
+                    .map(|a| a.mean_top1_error_pct)
+            })
+            .collect::<Result<_>>()?;
+        rows.push((app.clone(), values));
+    }
+    let maximum: Vec<f64> = (0..methods.len())
+        .map(|mi| {
+            rows.iter()
+                .map(|(_, v)| v[mi])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let average: Vec<f64> = (0..methods.len())
+        .map(|mi| rows.iter().map(|(_, v)| v[mi]).sum::<f64>() / rows.len() as f64)
+        .collect();
+    rows.push(("Maximum".to_owned(), maximum));
+    rows.push(("Average".to_owned(), average));
+    Ok(Fig7Result { methods, rows })
+}
+
+/// Runs the underlying cross-validation and computes Figure 7.
+///
+/// # Errors
+///
+/// Propagates harness and model failures.
+pub fn run(config: &ExperimentConfig) -> Result<Fig7Result> {
+    let t2 = table2::run(config)?;
+    from_report(&t2.report)
+}
+
+impl Fig7Result {
+    /// Row lookup by benchmark name.
+    pub fn row(&self, name: &str) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+impl fmt::Display for Fig7Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.methods.iter().map(|s| s.as_str()).collect();
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().cloned())
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(1.0);
+        write!(
+            f,
+            "{}",
+            grouped_bar_chart(
+                "Figure 7: top-1 prediction error (%) per benchmark",
+                &names,
+                &self.rows,
+                max,
+                40,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shapes() {
+        let result = run(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(result.methods.len(), 3);
+        assert_eq!(result.rows.len(), 6);
+        let max = result.row("Maximum").unwrap().to_vec();
+        let avg = result.row("Average").unwrap().to_vec();
+        for (hi, mean) in max.iter().zip(&avg) {
+            assert!(hi >= mean);
+        }
+        assert!(result.to_string().contains("Figure 7"));
+    }
+}

@@ -1,0 +1,184 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky decomposition `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Used for solving normal equations and sampling from multivariate normal
+/// distributions in the dataset generator.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_linalg::{Matrix, decomp::Cholesky};
+///
+/// # fn main() -> Result<(), datatrans_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper triangle
+    /// is assumed, not checked.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Empty`] if `a` is empty.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinities.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty { what: "matrix" });
+        }
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` using the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
+    /// the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (`2·Σ log L[i,i]`), cheap from the factor.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+        .unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_factor() {
+        let a = Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+            .unwrap();
+        let l = Cholesky::new(&a).unwrap().l().clone();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let x = Cholesky::new(&a).unwrap().solve(&[3.0, 3.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn log_det_matches() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
+        let ld = Cholesky::new(&a).unwrap().log_det();
+        assert!((ld - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let a = Matrix::identity(2);
+        let c = Cholesky::new(&a).unwrap();
+        assert!(c.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR decomposition of an `m × n` matrix with `m >= n`.
+///
+/// Factors `A = Q·R` with `Q` orthogonal (`m × m`, stored implicitly as
+/// Householder reflectors) and `R` upper-triangular (`n × n` leading block).
+/// The main consumer is least-squares fitting: [`Qr::solve`] computes the
+/// minimum-norm residual solution of `A·x ≈ b`.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_linalg::{Matrix, decomp::Qr};
+///
+/// # fn main() -> Result<(), datatrans_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]])?;
+/// let qr = Qr::new(&a)?;
+/// let x = qr.solve(&[2.0, 3.0, 4.0])?; // exact fit: y = 1 + x
+/// assert!((x[0] - 1.0).abs() < 1e-10);
+/// assert!((x[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: reflectors below the diagonal, R on and above.
+    qr: Matrix,
+    /// Scalar factors of the Householder reflectors.
+    tau: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Qr {
+    /// Computes the QR decomposition of `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `a` has no elements.
+    /// * [`LinalgError::DimensionMismatch`] if `a` has fewer rows than columns.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN or infinities.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty { what: "matrix" });
+        }
+        if a.rows() < a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr (requires rows >= cols)",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let (m, n) = a.shape();
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Norm of the k-th column below (and including) the diagonal.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            // Choose sign to avoid cancellation.
+            let alpha = if qr[(k, k)] > 0.0 { -norm } else { norm };
+            // v = x - alpha * e1, normalized so v[0] = 1.
+            let v0 = qr[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply reflector to remaining columns: A := (I - tau v v^T) A.
+            for j in (k + 1)..n {
+                let mut dot = qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                dot *= tau[k];
+                qr[(k, j)] -= dot;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= dot * vik;
+                }
+            }
+        }
+
+        Ok(Qr {
+            qr,
+            tau,
+            rows: m,
+            cols: n,
+        })
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols;
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthogonal factor `Q` (`m × n`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = (self.rows, self.cols);
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            // Start from e_j and apply reflectors in reverse order.
+            let mut col = vec![0.0; m];
+            col[j] = 1.0;
+            for k in (0..n).rev() {
+                if self.tau[k] == 0.0 {
+                    continue;
+                }
+                let mut dot = col[k];
+                for i in (k + 1)..m {
+                    dot += self.qr[(i, k)] * col[i];
+                }
+                dot *= self.tau[k];
+                col[k] -= dot;
+                for i in (k + 1)..m {
+                    col[i] -= dot * self.qr[(i, k)];
+                }
+            }
+            for i in 0..m {
+                q[(i, j)] = col[i];
+            }
+        }
+        q
+    }
+
+    /// Solves the least-squares problem `min ||A·x - b||₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != rows`.
+    /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr solve",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        let (m, n) = (self.rows, self.cols);
+        // y = Q^T b, applying reflectors forward.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            dot *= self.tau[k];
+            y[k] -= dot;
+            for i in (k + 1)..m {
+                y[i] -= dot * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let scale = self.qr.max_abs().max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() < 1e-12 * scale {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 3.0],
+            &[4.0, 1.0, -2.0],
+            &[-1.0, 5.0, 0.5],
+            &[3.0, 2.0, 1.0],
+        ])
+        .unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q().matmul(&qr.r()).unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let q = Qr::new(&a).unwrap().q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solves_exact_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = Qr::new(&a).unwrap().solve(&[5.0, 10.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn solves_overdetermined_least_squares() {
+        // y = 3 + 2x with noise-free data: LS must recover exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let b: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        assert!(approx(x[0], 3.0, 1e-10));
+        assert!(approx(x[1], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let a = Matrix::from_rows(&[&[f64::NAN], &[1.0]]).unwrap();
+        assert!(matches!(Qr::new(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let a = Matrix::identity(2);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Slice-based vector operations shared across the workspace.
+//!
+//! These helpers operate directly on `&[f64]` so callers are not forced into
+//! any particular container type.
+
+use crate::{LinalgError, Result};
+
+/// Dot product of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_same_len("dot", a, b)?;
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_same_len("euclidean_distance", a, b)?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Weighted Euclidean distance `sqrt(Σ wᵢ (aᵢ−bᵢ)²)`.
+///
+/// Used by GA-kNN, where a genetic algorithm learns the weights `w`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if any length differs.
+pub fn weighted_euclidean_distance(a: &[f64], b: &[f64], w: &[f64]) -> Result<f64> {
+    check_same_len("weighted_euclidean_distance", a, b)?;
+    check_same_len("weighted_euclidean_distance (weights)", a, w)?;
+    Ok(a.iter()
+        .zip(b)
+        .zip(w)
+        .map(|((x, y), wi)| wi * (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Elementwise `a + b` into a new vector.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    check_same_len("add", a, b)?;
+    Ok(a.iter().zip(b).map(|(x, y)| x + y).collect())
+}
+
+/// Elementwise `a − b` into a new vector.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    check_same_len("sub", a, b)?;
+    Ok(a.iter().zip(b).map(|(x, y)| x - y).collect())
+}
+
+/// Scales every element by `s` into a new vector.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// In-place `a += s * b` (axpy).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) -> Result<()> {
+    check_same_len("axpy", a, b)?;
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+    Ok(())
+}
+
+/// True if every element is finite.
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+fn check_same_len(op: &'static str, a: &[f64], b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op,
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 5.0);
+        let d = weighted_euclidean_distance(&[0.0, 0.0], &[1.0, 1.0], &[4.0, 9.0]).unwrap();
+        assert!((d - (13.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distance_with_zero_weights_ignores_dims() {
+        let d = weighted_euclidean_distance(&[0.0, 100.0], &[1.0, -100.0], &[1.0, 0.0]).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(add(&[1.0], &[2.0]).unwrap(), vec![3.0]);
+        assert_eq!(sub(&[5.0], &[2.0]).unwrap(), vec![3.0]);
+        assert_eq!(scale(&[2.0, 4.0], 0.5), vec![1.0, 2.0]);
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[1.0, 3.0]).unwrap();
+        assert_eq!(a, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::INFINITY]));
+        assert!(!all_finite(&[f64::NAN]));
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-validation index generation.
+//!
+//! The paper's evaluation is built entirely on cross-validation: processor
+//! families are left out at the machine level, and a leave-one-out loop runs
+//! at the benchmark level. The domain-specific splits live in
+//! `datatrans-core`; this module provides the generic index machinery.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{MlError, Result};
+
+/// One train/test split of `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of the training items.
+    pub train: Vec<usize>,
+    /// Indices of the held-out test items.
+    pub test: Vec<usize>,
+}
+
+/// Generates `k` shuffled, near-equal folds over `0..n`.
+///
+/// Every index appears in exactly one test set; train sets are the
+/// complements. Deterministic given the seed.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if `k < 2` or `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_ml::cv::k_fold;
+///
+/// # fn main() -> Result<(), datatrans_ml::MlError> {
+/// let folds = k_fold(10, 5, 42)?;
+/// assert_eq!(folds.len(), 5);
+/// assert!(folds.iter().all(|f| f.test.len() == 2 && f.train.len() == 8));
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>> {
+    if k < 2 || k > n {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            value: format!("{k} (n = {n})"),
+        });
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for fi in 0..k {
+        let size = base + usize::from(fi < extra);
+        let test: Vec<usize> = indices[start..start + size].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    Ok(folds)
+}
+
+/// Generates the `n` leave-one-out folds over `0..n`.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if `n < 2`.
+pub fn leave_one_out(n: usize) -> Result<Vec<Fold>> {
+    if n < 2 {
+        return Err(MlError::InvalidParameter {
+            name: "n",
+            value: n.to_string(),
+        });
+    }
+    Ok((0..n)
+        .map(|i| Fold {
+            train: (0..n).filter(|&j| j != i).collect(),
+            test: vec![i],
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn k_fold_partitions_everything() {
+        let folds = k_fold(13, 4, 1).unwrap();
+        let mut seen = BTreeSet::new();
+        for f in &folds {
+            for &i in &f.test {
+                assert!(seen.insert(i), "index {i} appears in two test sets");
+            }
+            // Train + test together cover all of 0..13.
+            let all: BTreeSet<usize> = f.train.iter().chain(&f.test).copied().collect();
+            assert_eq!(all.len(), 13);
+        }
+        assert_eq!(seen.len(), 13);
+    }
+
+    #[test]
+    fn k_fold_sizes_balanced() {
+        let folds = k_fold(10, 3, 7).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn k_fold_deterministic() {
+        assert_eq!(k_fold(20, 4, 9).unwrap(), k_fold(20, 4, 9).unwrap());
+        assert_ne!(k_fold(20, 4, 9).unwrap(), k_fold(20, 4, 10).unwrap());
+    }
+
+    #[test]
+    fn k_fold_validates() {
+        assert!(k_fold(5, 1, 0).is_err());
+        assert!(k_fold(5, 6, 0).is_err());
+        assert!(k_fold(5, 5, 0).is_ok());
+    }
+
+    #[test]
+    fn loo_shape() {
+        let folds = leave_one_out(4).unwrap();
+        assert_eq!(folds.len(), 4);
+        for (i, f) in folds.iter().enumerate() {
+            assert_eq!(f.test, vec![i]);
+            assert_eq!(f.train.len(), 3);
+            assert!(!f.train.contains(&i));
+        }
+        assert!(leave_one_out(1).is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Real-valued genetic algorithm.
+//!
+//! The GA half of the GA-kNN baseline (Hoste et al.): learn a weight per
+//! workload characteristic such that weighted distances in workload space
+//! track performance differences. The implementation is a conventional
+//! generational GA over `Vec<f64>` genomes with tournament selection, blend
+//! (BLX-α) crossover, Gaussian mutation, and elitism — fully deterministic
+//! given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
+//!
+//! # fn main() -> Result<(), datatrans_ml::MlError> {
+//! // Maximize -(x-3)² - (y+1)²: optimum at (3, -1).
+//! let config = GaConfig { population: 40, generations: 60, ..GaConfig::default_seeded(5) };
+//! let ga = GeneticAlgorithm::new(2, (-10.0, 10.0), config)?;
+//! let result = ga.run(|genome| -((genome[0] - 3.0).powi(2) + (genome[1] + 1.0).powi(2)));
+//! assert!((result.best_genome[0] - 3.0).abs() < 0.3);
+//! assert!((result.best_genome[1] + 1.0).abs() < 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{MlError, Result};
+
+/// Hyper-parameters for [`GeneticAlgorithm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Number of genomes per generation.
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability that a child is produced by crossover (vs. cloning).
+    pub crossover_rate: f64,
+    /// Per-gene probability of Gaussian mutation.
+    pub mutation_rate: f64,
+    /// Standard deviation of Gaussian mutation, as a fraction of the domain
+    /// width.
+    pub mutation_sigma: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Number of best genomes copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaConfig {
+    /// Reasonable defaults with an explicit seed.
+    pub fn default_seeded(seed: u64) -> Self {
+        GaConfig {
+            population: 32,
+            generations: 40,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            mutation_sigma: 0.1,
+            tournament: 3,
+            elitism: 2,
+            seed,
+        }
+    }
+
+    fn validate(&self, dim: usize) -> Result<()> {
+        if self.population < 2 {
+            return Err(MlError::InvalidParameter {
+                name: "population",
+                value: self.population.to_string(),
+            });
+        }
+        if self.generations == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "generations",
+                value: "0".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(MlError::InvalidParameter {
+                name: "crossover_rate",
+                value: self.crossover_rate.to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(MlError::InvalidParameter {
+                name: "mutation_rate",
+                value: self.mutation_rate.to_string(),
+            });
+        }
+        if self.tournament == 0 || self.tournament > self.population {
+            return Err(MlError::InvalidParameter {
+                name: "tournament",
+                value: self.tournament.to_string(),
+            });
+        }
+        if self.elitism >= self.population {
+            return Err(MlError::InvalidParameter {
+                name: "elitism",
+                value: self.elitism.to_string(),
+            });
+        }
+        if dim == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "genome dimension",
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// The best genome found across all generations.
+    pub best_genome: Vec<f64>,
+    /// Fitness of [`GaResult::best_genome`].
+    pub best_fitness: f64,
+    /// Best fitness at each generation (monotonically non-decreasing).
+    pub history: Vec<f64>,
+}
+
+/// A configured genetic algorithm over fixed-length real genomes.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    dim: usize,
+    lo: f64,
+    hi: f64,
+    config: GaConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Creates a GA over `dim`-length genomes with every gene in
+    /// `[bounds.0, bounds.1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] for invalid bounds or config.
+    pub fn new(dim: usize, bounds: (f64, f64), config: GaConfig) -> Result<Self> {
+        config.validate(dim)?;
+        let (lo, hi) = bounds;
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(MlError::InvalidParameter {
+                name: "bounds",
+                value: format!("[{lo}, {hi}]"),
+            });
+        }
+        Ok(GeneticAlgorithm { dim, lo, hi, config })
+    }
+
+    /// Evolves the population, maximizing `fitness`.
+    ///
+    /// Non-finite fitness values are treated as negative infinity (the
+    /// genome is never selected as best).
+    pub fn run(&self, fitness: impl Fn(&[f64]) -> f64) -> GaResult {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let width = self.hi - self.lo;
+
+        let mut population: Vec<Vec<f64>> = (0..cfg.population)
+            .map(|_| (0..self.dim).map(|_| rng.gen_range(self.lo..self.hi)).collect())
+            .collect();
+        let mut scores: Vec<f64> = population.iter().map(|g| safe_fitness(&fitness, g)).collect();
+
+        let mut best_idx = argmax_f64(&scores);
+        let mut best_genome = population[best_idx].clone();
+        let mut best_fitness = scores[best_idx];
+        let mut history = Vec::with_capacity(cfg.generations);
+
+        for _gen in 0..cfg.generations {
+            let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+
+            // Elitism: carry the best genomes over unchanged.
+            let mut order: Vec<usize> = (0..cfg.population).collect();
+            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("fitness sanitized"));
+            for &i in order.iter().take(cfg.elitism) {
+                next.push(population[i].clone());
+            }
+
+            while next.len() < cfg.population {
+                let p1 = self.tournament_select(&scores, &mut rng);
+                let child = if rng.gen_bool(cfg.crossover_rate) {
+                    let p2 = self.tournament_select(&scores, &mut rng);
+                    self.blend_crossover(&population[p1], &population[p2], &mut rng)
+                } else {
+                    population[p1].clone()
+                };
+                let mut child = child;
+                self.mutate(&mut child, width, &mut rng);
+                next.push(child);
+            }
+
+            population = next;
+            scores = population.iter().map(|g| safe_fitness(&fitness, g)).collect();
+            best_idx = argmax_f64(&scores);
+            if scores[best_idx] > best_fitness {
+                best_fitness = scores[best_idx];
+                best_genome = population[best_idx].clone();
+            }
+            history.push(best_fitness);
+        }
+
+        GaResult {
+            best_genome,
+            best_fitness,
+            history,
+        }
+    }
+
+    fn tournament_select(&self, scores: &[f64], rng: &mut StdRng) -> usize {
+        let mut best = rng.gen_range(0..scores.len());
+        for _ in 1..self.config.tournament {
+            let challenger = rng.gen_range(0..scores.len());
+            if scores[challenger] > scores[best] {
+                best = challenger;
+            }
+        }
+        best
+    }
+
+    /// BLX-α crossover with α = 0.5, clamped to the domain.
+    fn blend_crossover(&self, a: &[f64], b: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        const ALPHA: f64 = 0.5;
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let lo = x.min(y);
+                let hi = x.max(y);
+                let span = hi - lo;
+                let sample_lo = lo - ALPHA * span;
+                let sample_hi = hi + ALPHA * span;
+                if sample_hi > sample_lo {
+                    rng.gen_range(sample_lo..sample_hi).clamp(self.lo, self.hi)
+                } else {
+                    x
+                }
+            })
+            .collect()
+    }
+
+    fn mutate(&self, genome: &mut [f64], width: f64, rng: &mut StdRng) {
+        for gene in genome.iter_mut() {
+            if rng.gen_bool(self.config.mutation_rate) {
+                *gene = (*gene + gaussian(rng) * self.config.mutation_sigma * width)
+                    .clamp(self.lo, self.hi);
+            }
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn safe_fitness(fitness: &impl Fn(&[f64]) -> f64, genome: &[f64]) -> f64 {
+    let f = fitness(genome);
+    if f.is_finite() {
+        f
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+fn argmax_f64(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizes_sphere_function() {
+        let config = GaConfig {
+            population: 40,
+            generations: 80,
+            ..GaConfig::default_seeded(1)
+        };
+        let ga = GeneticAlgorithm::new(3, (-5.0, 5.0), config).unwrap();
+        let result = ga.run(|g| -g.iter().map(|x| x * x).sum::<f64>());
+        assert!(result.best_fitness > -0.2, "fitness {}", result.best_fitness);
+        assert!(result.best_genome.iter().all(|x| x.abs() < 0.5));
+    }
+
+    #[test]
+    fn history_is_monotone() {
+        let ga = GeneticAlgorithm::new(2, (-1.0, 1.0), GaConfig::default_seeded(2)).unwrap();
+        let result = ga.run(|g| -(g[0] * g[0] + g[1] * g[1]));
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            GeneticAlgorithm::new(2, (0.0, 1.0), GaConfig::default_seeded(9))
+                .unwrap()
+                .run(|g| g[0] + g[1])
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.best_genome, b.best_genome);
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        // Both runs may converge to the same optimum, but the paths differ.
+        let run = |seed| {
+            GeneticAlgorithm::new(4, (0.0, 1.0), GaConfig::default_seeded(seed))
+                .unwrap()
+                .run(|g| g.iter().sum())
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_ne!(a.history, b.history);
+    }
+
+    #[test]
+    fn genomes_respect_bounds() {
+        let ga = GeneticAlgorithm::new(5, (0.0, 2.0), GaConfig::default_seeded(3)).unwrap();
+        let result = ga.run(|g| g.iter().sum());
+        assert!(result.best_genome.iter().all(|&x| (0.0..=2.0).contains(&x)));
+        // Maximizing the sum pushes genes to the upper bound.
+        assert!(result.best_fitness > 9.0);
+    }
+
+    #[test]
+    fn non_finite_fitness_handled() {
+        let ga = GeneticAlgorithm::new(1, (-1.0, 1.0), GaConfig::default_seeded(4)).unwrap();
+        let result = ga.run(|g| if g[0] > 0.0 { f64::NAN } else { g[0] }); // NaN never wins
+        assert!(result.best_fitness <= 0.0);
+        assert!(result.best_fitness.is_finite());
+    }
+
+    #[test]
+    fn validates_config() {
+        assert!(GeneticAlgorithm::new(0, (0.0, 1.0), GaConfig::default_seeded(1)).is_err());
+        assert!(GeneticAlgorithm::new(1, (1.0, 0.0), GaConfig::default_seeded(1)).is_err());
+        let mut bad = GaConfig::default_seeded(1);
+        bad.population = 1;
+        assert!(GeneticAlgorithm::new(1, (0.0, 1.0), bad).is_err());
+        let mut bad = GaConfig::default_seeded(1);
+        bad.generations = 0;
+        assert!(GeneticAlgorithm::new(1, (0.0, 1.0), bad).is_err());
+        let mut bad = GaConfig::default_seeded(1);
+        bad.tournament = 0;
+        assert!(GeneticAlgorithm::new(1, (0.0, 1.0), bad).is_err());
+        let mut bad = GaConfig::default_seeded(1);
+        bad.elitism = bad.population;
+        assert!(GeneticAlgorithm::new(1, (0.0, 1.0), bad).is_err());
+        let mut bad = GaConfig::default_seeded(1);
+        bad.crossover_rate = 1.5;
+        assert!(GeneticAlgorithm::new(1, (0.0, 1.0), bad).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Weighted k-nearest-neighbour queries and regression.
+//!
+//! GA-kNN (Hoste et al., PACT 2006) predicts the performance of an
+//! application from its `k = 10` nearest benchmarks in a *weighted*
+//! microarchitecture-independent characteristic space; the weights are
+//! learned by a genetic algorithm. This module supplies the neighbour
+//! machinery; the GA lives in [`crate::ga`].
+
+use datatrans_linalg::{vecops, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::{MlError, Result};
+
+/// How neighbour targets are combined into a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborWeighting {
+    /// Plain average of the neighbours' targets.
+    Uniform,
+    /// Average weighted by `1 / (distance + ε)` — closer neighbours count
+    /// more; an exact match dominates.
+    InverseDistance,
+}
+
+/// A neighbour returned by [`KnnIndex::nearest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index of the neighbour in the fitted data.
+    pub index: usize,
+    /// Distance from the query point.
+    pub distance: f64,
+}
+
+/// An exact (brute-force) nearest-neighbour index over row vectors.
+///
+/// Distances are weighted Euclidean: `d(a, b) = sqrt(Σ wⱼ (aⱼ − bⱼ)²)`.
+/// With unit weights this is the ordinary Euclidean distance.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_linalg::Matrix;
+/// use datatrans_ml::knn::KnnIndex;
+///
+/// # fn main() -> Result<(), datatrans_ml::MlError> {
+/// let points = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[5.0, 5.0]])?;
+/// let index = KnnIndex::fit(points)?;
+/// let neighbors = index.nearest(&[0.9, 0.1], 2)?;
+/// assert_eq!(neighbors[0].index, 1);
+/// assert_eq!(neighbors[1].index, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnIndex {
+    points: Matrix,
+    weights: Vec<f64>,
+}
+
+impl KnnIndex {
+    /// Builds an index over the rows of `points` with unit feature weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] if `points` is empty or non-finite.
+    pub fn fit(points: Matrix) -> Result<Self> {
+        let weights = vec![1.0; points.cols()];
+        Self::fit_weighted(points, weights)
+    }
+
+    /// Builds an index with per-feature distance weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] if `points` is empty/non-finite,
+    /// the weight count differs from the feature count, or any weight is
+    /// negative or non-finite.
+    pub fn fit_weighted(points: Matrix, weights: Vec<f64>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(MlError::invalid_input("empty point set"));
+        }
+        if !points.all_finite() {
+            return Err(MlError::invalid_input("points contain NaN/inf"));
+        }
+        if weights.len() != points.cols() {
+            return Err(MlError::invalid_input(format!(
+                "{} weights for {} features",
+                weights.len(),
+                points.cols()
+            )));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(MlError::invalid_input(
+                "distance weights must be finite and non-negative",
+            ));
+        }
+        Ok(KnnIndex { points, weights })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// True if the index holds no points (cannot occur after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.points.rows() == 0
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.points.cols()
+    }
+
+    /// The `k` nearest indexed points to `query`, closest first.
+    ///
+    /// Ties are broken by the lower row index, which makes results
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] if the query length differs from the
+    ///   feature count or the query is non-finite.
+    /// * [`MlError::InvalidParameter`] if `k` is zero or exceeds the number
+    ///   of indexed points.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.points.cols() {
+            return Err(MlError::invalid_input(format!(
+                "query has {} features, index has {}",
+                query.len(),
+                self.points.cols()
+            )));
+        }
+        if !vecops::all_finite(query) {
+            return Err(MlError::invalid_input("query contains NaN/inf"));
+        }
+        if k == 0 || k > self.points.rows() {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                value: format!("{k} (index holds {} points)", self.points.rows()),
+            });
+        }
+        let mut neighbors: Vec<Neighbor> = self
+            .points
+            .iter_rows()
+            .enumerate()
+            .map(|(i, row)| Neighbor {
+                index: i,
+                distance: vecops::weighted_euclidean_distance(query, row, &self.weights)
+                    .expect("lengths validated"),
+            })
+            .collect();
+        neighbors.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.index.cmp(&b.index))
+        });
+        neighbors.truncate(k);
+        Ok(neighbors)
+    }
+
+    /// kNN regression: combines `targets` over the `k` nearest neighbours.
+    ///
+    /// `targets[i]` must correspond to indexed row `i`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] if `targets` length differs from the
+    ///   index size.
+    /// * Conditions of [`KnnIndex::nearest`].
+    pub fn predict(
+        &self,
+        query: &[f64],
+        k: usize,
+        targets: &[f64],
+        weighting: NeighborWeighting,
+    ) -> Result<f64> {
+        if targets.len() != self.points.rows() {
+            return Err(MlError::invalid_input(format!(
+                "{} targets for {} indexed points",
+                targets.len(),
+                self.points.rows()
+            )));
+        }
+        let neighbors = self.nearest(query, k)?;
+        Ok(combine_targets(&neighbors, targets, weighting))
+    }
+}
+
+/// Combines neighbour targets per the chosen weighting scheme.
+pub fn combine_targets(
+    neighbors: &[Neighbor],
+    targets: &[f64],
+    weighting: NeighborWeighting,
+) -> f64 {
+    match weighting {
+        NeighborWeighting::Uniform => {
+            neighbors.iter().map(|n| targets[n.index]).sum::<f64>() / neighbors.len() as f64
+        }
+        NeighborWeighting::InverseDistance => {
+            const EPS: f64 = 1e-9;
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for n in neighbors {
+                let w = 1.0 / (n.distance + EPS);
+                num += w * targets[n.index];
+                den += w;
+            }
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_index() -> KnnIndex {
+        let points =
+            Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        KnnIndex::fit(points).unwrap()
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let index = square_index();
+        let n = index.nearest(&[0.1, 0.1], 4).unwrap();
+        assert_eq!(n[0].index, 0);
+        assert_eq!(n[3].index, 3);
+        assert!(n[0].distance < n[1].distance);
+    }
+
+    #[test]
+    fn nearest_tie_break_is_deterministic() {
+        let index = square_index();
+        // Equidistant from rows 1 and 2; lower index wins.
+        let n = index.nearest(&[0.5, 0.5], 4).unwrap();
+        assert_eq!(n[0].index, 0); // all equidistant actually: 0,1,2,3
+        assert_eq!(n[1].index, 1);
+        assert_eq!(n[2].index, 2);
+    }
+
+    #[test]
+    fn weighted_distance_changes_neighbours() {
+        let points = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        // Heavy weight on dim 0 makes row 1 (x=0) closer to the origin query.
+        let index = KnnIndex::fit_weighted(points, vec![100.0, 0.01]).unwrap();
+        let n = index.nearest(&[0.0, 0.0], 1).unwrap();
+        assert_eq!(n[0].index, 1);
+    }
+
+    #[test]
+    fn uniform_prediction_is_mean_of_neighbours() {
+        let index = square_index();
+        let targets = [10.0, 20.0, 30.0, 40.0];
+        let p = index
+            .predict(&[0.05, 0.0], 2, &targets, NeighborWeighting::Uniform)
+            .unwrap();
+        // Nearest two are rows 0 and 1.
+        assert_eq!(p, 15.0);
+    }
+
+    #[test]
+    fn inverse_distance_favours_closest() {
+        let index = square_index();
+        let targets = [10.0, 20.0, 30.0, 40.0];
+        let p = index
+            .predict(&[0.01, 0.0], 2, &targets, NeighborWeighting::InverseDistance)
+            .unwrap();
+        assert!(p < 15.0); // pulled towards target 10 of the closest point
+    }
+
+    #[test]
+    fn exact_match_dominates_inverse_distance() {
+        let index = square_index();
+        let targets = [10.0, 20.0, 30.0, 40.0];
+        let p = index
+            .predict(&[1.0, 1.0], 3, &targets, NeighborWeighting::InverseDistance)
+            .unwrap();
+        assert!((p - 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let index = square_index();
+        assert!(index.nearest(&[1.0], 1).is_err());
+        assert!(index.nearest(&[1.0, f64::NAN], 1).is_err());
+        assert!(index.nearest(&[0.0, 0.0], 0).is_err());
+        assert!(index.nearest(&[0.0, 0.0], 5).is_err());
+        assert!(index
+            .predict(&[0.0, 0.0], 2, &[1.0], NeighborWeighting::Uniform)
+            .is_err());
+        assert!(KnnIndex::fit(Matrix::zeros(0, 0)).is_err());
+        let pts = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(KnnIndex::fit_weighted(pts.clone(), vec![1.0]).is_err());
+        assert!(KnnIndex::fit_weighted(pts, vec![-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn len_and_features() {
+        let index = square_index();
+        assert_eq!(index.len(), 4);
+        assert!(!index.is_empty());
+        assert_eq!(index.n_features(), 2);
+    }
+}

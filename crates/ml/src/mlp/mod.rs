@@ -1,0 +1,467 @@
+//! Multilayer perceptron regression with WEKA-compatible defaults.
+//!
+//! The paper uses "the WEKA v3 Multilayer Perceptron implementation with
+//! default settings" as the MLPᵀ model. [`MlpConfig::weka_default`]
+//! reproduces those settings:
+//!
+//! * one hidden layer with `(attributes + classes) / 2` sigmoid nodes
+//!   (WEKA's `-H a`),
+//! * linear output node for the numeric target,
+//! * inputs and target normalized to `[-1, 1]`,
+//! * stochastic gradient descent, learning rate `0.3`, momentum `0.2`,
+//! * `500` training epochs.
+//!
+//! # Example
+//!
+//! ```
+//! use datatrans_linalg::Matrix;
+//! use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
+//!
+//! # fn main() -> Result<(), datatrans_ml::MlError> {
+//! // Learn y = x1 + x2 on a tiny grid.
+//! let x = Matrix::from_rows(&[
+//!     &[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0], &[0.5, 0.5],
+//! ])?;
+//! let y = [0.0, 1.0, 1.0, 2.0, 1.0];
+//! let model = MlpRegressor::fit(&x, &y, &MlpConfig::weka_default(42))?;
+//! let pred = model.predict(&[0.25, 0.75])?;
+//! assert!((pred - 1.0).abs() < 0.25);
+//! # Ok(())
+//! # }
+//! ```
+
+mod activation;
+mod network;
+
+pub use activation::Activation;
+
+use datatrans_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::scale::MinMaxScaler;
+use crate::{MlError, Result};
+use network::Layer;
+
+/// Hyper-parameters for [`MlpRegressor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer sizes. Empty means WEKA's automatic single hidden layer
+    /// of `(inputs + 1) / 2` nodes.
+    pub hidden_layers: Vec<usize>,
+    /// SGD learning rate (WEKA default `0.3`).
+    pub learning_rate: f64,
+    /// Momentum coefficient (WEKA default `0.2`).
+    pub momentum: f64,
+    /// Number of passes over the training data (WEKA default `500`).
+    pub epochs: usize,
+    /// Seed for weight initialization and epoch shuffling.
+    pub seed: u64,
+    /// Whether to shuffle sample order every epoch.
+    pub shuffle: bool,
+    /// Hidden-layer activation (WEKA uses sigmoid).
+    pub hidden_activation: Activation,
+}
+
+impl MlpConfig {
+    /// WEKA v3 `MultilayerPerceptron` default settings with the given seed.
+    pub fn weka_default(seed: u64) -> Self {
+        MlpConfig {
+            hidden_layers: Vec::new(),
+            learning_rate: 0.3,
+            momentum: 0.2,
+            epochs: 500,
+            seed,
+            shuffle: true,
+            hidden_activation: Activation::Sigmoid,
+        }
+    }
+
+    /// Validates the hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] for non-positive learning rate,
+    /// negative momentum, momentum ≥ 1, or zero epochs.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(MlError::InvalidParameter {
+                name: "learning_rate",
+                value: self.learning_rate.to_string(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(MlError::InvalidParameter {
+                name: "momentum",
+                value: self.momentum.to_string(),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "epochs",
+                value: "0".into(),
+            });
+        }
+        if self.hidden_layers.iter().any(|&h| h == 0) {
+            return Err(MlError::InvalidParameter {
+                name: "hidden_layers",
+                value: format!("{:?}", self.hidden_layers),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig::weka_default(0)
+    }
+}
+
+/// A fitted multilayer perceptron for scalar regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    layers: Vec<Layer>,
+    input_scaler: MinMaxScaler,
+    target_scaler: MinMaxScaler,
+    n_inputs: usize,
+    training_mse: f64,
+}
+
+impl MlpRegressor {
+    /// Trains an MLP on `x` (rows = samples) against targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] on shape mismatch, empty data, or
+    ///   non-finite values.
+    /// * [`MlError::InvalidParameter`] if `config` fails validation.
+    pub fn fit(x: &Matrix, y: &[f64], config: &MlpConfig) -> Result<Self> {
+        config.validate()?;
+        if x.rows() != y.len() {
+            return Err(MlError::invalid_input(format!(
+                "x has {} rows, y has {} values",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if x.is_empty() {
+            return Err(MlError::invalid_input("empty training data"));
+        }
+        if !x.all_finite() || y.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::invalid_input("training data contains NaN/inf"));
+        }
+
+        // WEKA-style normalization of attributes and numeric class to [-1,1].
+        let input_scaler = MinMaxScaler::weka(x)?;
+        let y_matrix = Matrix::from_vec(y.len(), 1, y.to_vec())?;
+        let target_scaler = MinMaxScaler::weka(&y_matrix)?;
+        let scaled_x = input_scaler.transform(x)?;
+        let scaled_y: Vec<f64> = y
+            .iter()
+            .map(|&v| target_scaler.transform_value(0, v))
+            .collect();
+
+        // Topology: WEKA 'a' = (attribs + classes) / 2 for empty config.
+        let n_inputs = x.cols();
+        let hidden: Vec<usize> = if config.hidden_layers.is_empty() {
+            vec![((n_inputs + 1) / 2).max(1)]
+        } else {
+            config.hidden_layers.clone()
+        };
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut prev = n_inputs;
+        for &h in &hidden {
+            layers.push(Layer::new(prev, h, config.hidden_activation, &mut rng));
+            prev = h;
+        }
+        layers.push(Layer::new(prev, 1, Activation::Linear, &mut rng));
+
+        let mut model = MlpRegressor {
+            layers,
+            input_scaler,
+            target_scaler,
+            n_inputs,
+            training_mse: f64::NAN,
+        };
+        model.train(&scaled_x, &scaled_y, config, &mut rng);
+        Ok(model)
+    }
+
+    fn train(&mut self, x: &Matrix, y: &[f64], config: &MlpConfig, rng: &mut StdRng) {
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut activations: Vec<Vec<f64>> = Vec::new();
+        for _epoch in 0..config.epochs {
+            if config.shuffle {
+                order.shuffle(rng);
+            }
+            for &s in &order {
+                let input = x.row(s);
+                self.forward(input, &mut activations);
+                let output = activations.last().expect("at least one layer")[0];
+                // Squared-error loss; output layer is linear so the
+                // pre-activation delta is just the error.
+                let error = output - y[s];
+                self.backward(input, &activations, error, config);
+            }
+        }
+        // Record final training MSE (on the scaled target).
+        let mut mse = 0.0;
+        for s in 0..n {
+            self.forward(x.row(s), &mut activations);
+            let out = activations.last().expect("layers")[0];
+            mse += (out - y[s]) * (out - y[s]);
+        }
+        self.training_mse = mse / n as f64;
+    }
+
+    /// Forward pass storing each layer's output in `activations`.
+    fn forward(&self, input: &[f64], activations: &mut Vec<Vec<f64>>) {
+        activations.resize(self.layers.len(), Vec::new());
+        for li in 0..self.layers.len() {
+            // Take the output buffer out so the previous layer's output can
+            // be borrowed immutably at the same time.
+            let mut out = std::mem::take(&mut activations[li]);
+            {
+                let layer_input: &[f64] = if li == 0 { input } else { &activations[li - 1] };
+                self.layers[li].forward(layer_input, &mut out);
+            }
+            activations[li] = out;
+        }
+    }
+
+    fn backward(
+        &mut self,
+        input: &[f64],
+        activations: &[Vec<f64>],
+        output_error: f64,
+        config: &MlpConfig,
+    ) {
+        // Deltas flow backwards; for the (linear) output layer the
+        // pre-activation delta equals the output error.
+        let mut delta = vec![output_error];
+        for li in (0..self.layers.len()).rev() {
+            let layer_input: &[f64] = if li == 0 { input } else { &activations[li - 1] };
+            let input_grad = self.layers[li].backward(
+                layer_input,
+                &delta,
+                config.learning_rate,
+                config.momentum,
+            );
+            if li > 0 {
+                // Multiply by the upstream layer's activation derivative.
+                let act = self.layers[li - 1].activation;
+                delta = input_grad
+                    .iter()
+                    .zip(&activations[li - 1])
+                    .map(|(&g, &out)| g * act.derivative_from_output(out))
+                    .collect();
+            }
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] if the feature count differs from
+    /// training or the features are non-finite.
+    pub fn predict(&self, features: &[f64]) -> Result<f64> {
+        if features.len() != self.n_inputs {
+            return Err(MlError::invalid_input(format!(
+                "expected {} features, got {}",
+                self.n_inputs,
+                features.len()
+            )));
+        }
+        if features.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::invalid_input("features contain NaN/inf"));
+        }
+        let mut scaled = features.to_vec();
+        self.input_scaler.transform_row(&mut scaled)?;
+        let mut activations: Vec<Vec<f64>> = Vec::new();
+        self.forward(&scaled, &mut activations);
+        let out = activations.last().expect("layers")[0];
+        Ok(self.target_scaler.inverse_value(0, out))
+    }
+
+    /// Predicts for every row of a feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MlpRegressor::predict`].
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>> {
+        x.iter_rows().map(|row| self.predict(row)).collect()
+    }
+
+    /// Mean squared error on the (scaled) training data after the last epoch.
+    pub fn training_mse(&self) -> f64 {
+        self.training_mse
+    }
+
+    /// Number of input features.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Hidden + output layer sizes, e.g. `[14, 1]`.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.outputs).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy() -> (Matrix, Vec<f64>) {
+        // y = 2*x1 - x2 + 0.5 over a 5x5 grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                let x1 = a as f64 / 4.0;
+                let x2 = b as f64 / 4.0;
+                rows.push(vec![x1, x2]);
+                y.push(2.0 * x1 - x2 + 0.5);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (x, y) = grid_xy();
+        let model = MlpRegressor::fit(&x, &y, &MlpConfig::weka_default(7)).unwrap();
+        let pred = model.predict(&[0.5, 0.5]).unwrap();
+        assert!((pred - 1.0).abs() < 0.15, "pred = {pred}");
+        assert!(model.training_mse() < 0.01);
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = x1 * x2 requires the hidden layer.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..6 {
+            for b in 0..6 {
+                let x1 = a as f64 / 5.0;
+                let x2 = b as f64 / 5.0;
+                rows.push(vec![x1, x2]);
+                y.push(x1 * x2);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs).unwrap();
+        let mut config = MlpConfig::weka_default(3);
+        config.epochs = 1500;
+        let model = MlpRegressor::fit(&x, &y, &config).unwrap();
+        let pred = model.predict(&[0.8, 0.9]).unwrap();
+        assert!((pred - 0.72).abs() < 0.12, "pred = {pred}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(11);
+        cfg.epochs = 50;
+        let a = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        let b = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(
+            a.predict(&[0.3, 0.3]).unwrap(),
+            b.predict(&[0.3, 0.3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(1);
+        cfg.epochs = 20;
+        let a = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        cfg.seed = 2;
+        let b = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        assert_ne!(
+            a.predict(&[0.3, 0.4]).unwrap(),
+            b.predict(&[0.3, 0.4]).unwrap()
+        );
+    }
+
+    #[test]
+    fn weka_auto_hidden_size() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(1);
+        cfg.epochs = 1;
+        let model = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        // (2 inputs + 1 output) / 2 = 1 hidden node, then the output layer.
+        assert_eq!(model.layer_sizes(), vec![1, 1]);
+    }
+
+    #[test]
+    fn explicit_hidden_layers_respected() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(1);
+        cfg.hidden_layers = vec![8, 4];
+        cfg.epochs = 1;
+        let model = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(model.layer_sizes(), vec![8, 4, 1]);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (x, y) = grid_xy();
+        let cfg = MlpConfig::weka_default(1);
+        assert!(MlpRegressor::fit(&x, &y[..3], &cfg).is_err());
+        let mut bad = MlpConfig::weka_default(1);
+        bad.learning_rate = -1.0;
+        assert!(MlpRegressor::fit(&x, &y, &bad).is_err());
+        bad = MlpConfig::weka_default(1);
+        bad.momentum = 1.0;
+        assert!(MlpRegressor::fit(&x, &y, &bad).is_err());
+        bad = MlpConfig::weka_default(1);
+        bad.epochs = 0;
+        assert!(MlpRegressor::fit(&x, &y, &bad).is_err());
+        bad = MlpConfig::weka_default(1);
+        bad.hidden_layers = vec![0];
+        assert!(MlpRegressor::fit(&x, &y, &bad).is_err());
+    }
+
+    #[test]
+    fn predict_validates_features() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(1);
+        cfg.epochs = 1;
+        let model = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        assert!(model.predict(&[1.0]).is_err());
+        assert!(model.predict(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(5);
+        cfg.epochs = 10;
+        let model = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        let batch = model.predict_batch(&x).unwrap();
+        for (i, row) in x.iter_rows().enumerate() {
+            assert_eq!(batch[i], model.predict(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let (x, _) = grid_xy();
+        let y = vec![5.0; x.rows()];
+        let mut cfg = MlpConfig::weka_default(1);
+        cfg.epochs = 10;
+        let model = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        // Constant target scales to the midpoint and inverts back to 5.
+        assert!((model.predict(&[0.2, 0.9]).unwrap() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Principal component analysis via the symmetric Jacobi eigensolver.
+//!
+//! Used for machine-similarity analysis (projecting machines into a
+//! low-dimensional "behaviour space") and mirrors the workload-similarity
+//! methodology of Eeckhout et al. cited in the paper's related work.
+
+use datatrans_linalg::decomp::symmetric_eigen;
+use datatrans_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{MlError, Result};
+
+/// A fitted PCA transform.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_linalg::Matrix;
+/// use datatrans_ml::pca::Pca;
+///
+/// # fn main() -> Result<(), datatrans_ml::MlError> {
+/// // Points along the diagonal: the first component captures ~all variance.
+/// let data = Matrix::from_rows(&[
+///     &[1.0, 1.1], &[2.0, 1.9], &[3.0, 3.2], &[4.0, 3.9],
+/// ])?;
+/// let pca = Pca::fit(&data, 2)?;
+/// assert!(pca.explained_variance_ratio()[0] > 0.95);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    /// Column means of the training data.
+    mean: Vec<f64>,
+    /// Principal axes as matrix columns (features × components).
+    components: Matrix,
+    /// Eigenvalues of the covariance matrix, descending.
+    explained_variance: Vec<f64>,
+    /// Total variance (sum of all eigenvalues, not just kept ones).
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits a PCA with `n_components` axes on `data` (rows = samples).
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] if `data` has fewer than 2 rows or is
+    ///   non-finite.
+    /// * [`MlError::InvalidParameter`] if `n_components` is zero or exceeds
+    ///   the feature count.
+    /// * [`MlError::Linalg`] if the eigendecomposition fails.
+    pub fn fit(data: &Matrix, n_components: usize) -> Result<Self> {
+        if data.rows() < 2 {
+            return Err(MlError::invalid_input("need at least 2 samples for PCA"));
+        }
+        if !data.all_finite() {
+            return Err(MlError::invalid_input("data contains NaN/inf"));
+        }
+        if n_components == 0 || n_components > data.cols() {
+            return Err(MlError::InvalidParameter {
+                name: "n_components",
+                value: format!("{} ({} features)", n_components, data.cols()),
+            });
+        }
+        let (n, p) = data.shape();
+        let mut mean = vec![0.0; p];
+        for row in data.iter_rows() {
+            for (j, &v) in row.iter().enumerate() {
+                mean[j] += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f64;
+        }
+        // Covariance matrix (unbiased).
+        let mut cov = Matrix::zeros(p, p);
+        for row in data.iter_rows() {
+            for a in 0..p {
+                let da = row[a] - mean[a];
+                for b in a..p {
+                    let db = row[b] - mean[b];
+                    cov[(a, b)] += da * db;
+                }
+            }
+        }
+        let denom = (n - 1) as f64;
+        for a in 0..p {
+            for b in a..p {
+                let v = cov[(a, b)] / denom;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+        let eig = symmetric_eigen(&cov)?;
+        let total_variance: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let explained_variance: Vec<f64> = eig.values[..n_components]
+            .iter()
+            .map(|v| v.max(0.0))
+            .collect();
+        let components = Matrix::from_fn(p, n_components, |i, j| eig.vectors[(i, j)]);
+        Ok(Pca {
+            mean,
+            components,
+            explained_variance,
+            total_variance,
+        })
+    }
+
+    /// Projects samples into component space (rows = samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] on feature-count mismatch.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.mean.len() {
+            return Err(MlError::invalid_input(format!(
+                "data has {} features, PCA fitted on {}",
+                data.cols(),
+                self.mean.len()
+            )));
+        }
+        let k = self.components.cols();
+        Ok(Matrix::from_fn(data.rows(), k, |i, j| {
+            let mut s = 0.0;
+            for f in 0..self.mean.len() {
+                s += (data[(i, f)] - self.mean[f]) * self.components[(f, j)];
+            }
+            s
+        }))
+    }
+
+    /// Variance captured by each kept component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by each kept component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance == 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance
+            .iter()
+            .map(|v| v / self.total_variance)
+            .collect()
+    }
+
+    /// Number of components kept.
+    pub fn n_components(&self) -> usize {
+        self.components.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        // Variance along x is 100x variance along y.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let t = (i as f64 - 9.5) / 10.0;
+            rows.push(vec![10.0 * t, 0.1 * if i % 2 == 0 { 1.0 } else { -1.0 }]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = Matrix::from_rows(&refs).unwrap();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let ratios = pca.explained_variance_ratio();
+        assert!(ratios[0] > 0.99);
+        // First axis should be (±1, ~0).
+        let axis_x = pca.components[(0, 0)].abs();
+        assert!(axis_x > 0.999);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let scores = pca.transform(&data).unwrap();
+        let mean_score: f64 = scores.col(0).iter().sum::<f64>() / 3.0;
+        assert!(mean_score.abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_order_on_line() {
+        // Collinear points: 1D projection must preserve ordering (up to sign).
+        let data =
+            Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let pca = Pca::fit(&data, 1).unwrap();
+        let s = pca.transform(&data).unwrap().col(0);
+        let increasing = s.windows(2).all(|w| w[1] > w[0]);
+        let decreasing = s.windows(2).all(|w| w[1] < w[0]);
+        assert!(increasing || decreasing);
+    }
+
+    #[test]
+    fn explained_variance_sums_to_total_when_all_kept() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 5.0, 2.0],
+            &[2.0, 3.0, 8.0],
+            &[4.0, 1.0, 1.0],
+            &[0.5, 2.5, 3.0],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&data, 3).unwrap();
+        let ratios = pca.explained_variance_ratio();
+        assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validates_input() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(Pca::fit(&data, 1).is_err()); // one sample
+        let ok = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!(Pca::fit(&ok, 0).is_err());
+        assert!(Pca::fit(&ok, 3).is_err());
+        let pca = Pca::fit(&ok, 1).unwrap();
+        assert!(pca.transform(&Matrix::zeros(1, 3)).is_err());
+        assert_eq!(pca.n_components(), 1);
+    }
+}

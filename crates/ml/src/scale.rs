@@ -1,0 +1,337 @@
+//! Feature scaling fitted on training data and applied to held-out data.
+
+use datatrans_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{MlError, Result};
+
+/// Per-feature min-max scaler mapping the training range to `[lo, hi]`.
+///
+/// WEKA's MultilayerPerceptron normalizes attributes (and a numeric class)
+/// to `[-1, 1]`; [`MinMaxScaler::weka`] reproduces that. Constant features
+/// map to the midpoint of the output range.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_ml::scale::MinMaxScaler;
+///
+/// # fn main() -> Result<(), datatrans_ml::MlError> {
+/// let scaler = MinMaxScaler::fit_1d(&[10.0, 20.0, 30.0], -1.0, 1.0)?;
+/// assert_eq!(scaler.transform_value(0, 20.0), 0.0);
+/// assert_eq!(scaler.inverse_value(0, 1.0), 30.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on the columns of `data` (rows are samples).
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] if `data` is empty or contains non-finite
+    ///   values, or `lo >= hi`.
+    pub fn fit(data: &Matrix, lo: f64, hi: f64) -> Result<Self> {
+        if data.is_empty() {
+            return Err(MlError::invalid_input("cannot fit scaler on empty data"));
+        }
+        if !data.all_finite() {
+            return Err(MlError::invalid_input("scaler input contains NaN/inf"));
+        }
+        if lo >= hi {
+            return Err(MlError::InvalidParameter {
+                name: "output range",
+                value: format!("[{lo}, {hi}]"),
+            });
+        }
+        let cols = data.cols();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for row in data.iter_rows() {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        Ok(MinMaxScaler { mins, maxs, lo, hi })
+    }
+
+    /// Fits on a single feature (column vector).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MinMaxScaler::fit`].
+    pub fn fit_1d(values: &[f64], lo: f64, hi: f64) -> Result<Self> {
+        let m = Matrix::from_vec(values.len(), 1, values.to_vec())
+            .map_err(|_| MlError::invalid_input("empty 1d input"))?;
+        Self::fit(&m, lo, hi)
+    }
+
+    /// WEKA-style `[-1, 1]` scaler.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MinMaxScaler::fit`].
+    pub fn weka(data: &Matrix) -> Result<Self> {
+        Self::fit(data, -1.0, 1.0)
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales a single value of feature `j`.
+    ///
+    /// Values outside the training range extrapolate linearly; constant
+    /// training features map to the midpoint of the output range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn transform_value(&self, j: usize, v: f64) -> f64 {
+        let (min, max) = (self.mins[j], self.maxs[j]);
+        if max == min {
+            return (self.lo + self.hi) / 2.0;
+        }
+        self.lo + (v - min) / (max - min) * (self.hi - self.lo)
+    }
+
+    /// Inverse of [`MinMaxScaler::transform_value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn inverse_value(&self, j: usize, s: f64) -> f64 {
+        let (min, max) = (self.mins[j], self.maxs[j]);
+        if max == min {
+            return min;
+        }
+        min + (s - self.lo) / (self.hi - self.lo) * (max - min)
+    }
+
+    /// Scales a full sample row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] if the row length differs from the
+    /// fitted feature count.
+    pub fn transform_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.mins.len() {
+            return Err(MlError::invalid_input(format!(
+                "row has {} features, scaler fitted on {}",
+                row.len(),
+                self.mins.len()
+            )));
+        }
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = self.transform_value(j, *v);
+        }
+        Ok(())
+    }
+
+    /// Scales an entire sample matrix, returning a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] on column-count mismatch.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.mins.len() {
+            return Err(MlError::invalid_input(format!(
+                "data has {} features, scaler fitted on {}",
+                data.cols(),
+                self.mins.len()
+            )));
+        }
+        Ok(Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            self.transform_value(j, data[(i, j)])
+        }))
+    }
+}
+
+/// Per-feature standardizer to zero mean and unit variance.
+///
+/// Constant features are passed through centered (divided by 1 instead of 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on the columns of `data` (rows are samples).
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] if `data` is empty, has a single row, or
+    ///   contains non-finite values.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        if data.is_empty() {
+            return Err(MlError::invalid_input("cannot fit scaler on empty data"));
+        }
+        if data.rows() < 2 {
+            return Err(MlError::invalid_input(
+                "need at least 2 samples to standardize",
+            ));
+        }
+        if !data.all_finite() {
+            return Err(MlError::invalid_input("scaler input contains NaN/inf"));
+        }
+        let (n, cols) = data.shape();
+        let mut means = vec![0.0; cols];
+        for row in data.iter_rows() {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n as f64;
+        }
+        let mut stds = vec![0.0; cols];
+        for row in data.iter_rows() {
+            for (j, &v) in row.iter().enumerate() {
+                stds[j] += (v - means[j]) * (v - means[j]);
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / (n - 1) as f64).sqrt();
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one value of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn transform_value(&self, j: usize, v: f64) -> f64 {
+        (v - self.means[j]) / self.stds[j]
+    }
+
+    /// Inverse of [`StandardScaler::transform_value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn inverse_value(&self, j: usize, z: f64) -> f64 {
+        z * self.stds[j] + self.means[j]
+    }
+
+    /// Standardizes an entire sample matrix, returning a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] on column-count mismatch.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.means.len() {
+            return Err(MlError::invalid_input(format!(
+                "data has {} features, scaler fitted on {}",
+                data.cols(),
+                self.means.len()
+            )));
+        }
+        Ok(Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            self.transform_value(j, data[(i, j)])
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_training_range_to_bounds() {
+        let data = Matrix::from_rows(&[&[0.0, 100.0], &[10.0, 200.0]]).unwrap();
+        let s = MinMaxScaler::weka(&data).unwrap();
+        assert_eq!(s.transform_value(0, 0.0), -1.0);
+        assert_eq!(s.transform_value(0, 10.0), 1.0);
+        assert_eq!(s.transform_value(0, 5.0), 0.0);
+        assert_eq!(s.transform_value(1, 150.0), 0.0);
+    }
+
+    #[test]
+    fn minmax_extrapolates_outside_range() {
+        let s = MinMaxScaler::fit_1d(&[0.0, 10.0], -1.0, 1.0).unwrap();
+        assert_eq!(s.transform_value(0, 20.0), 3.0);
+        assert_eq!(s.transform_value(0, -10.0), -3.0);
+    }
+
+    #[test]
+    fn minmax_constant_feature_maps_to_midpoint() {
+        let s = MinMaxScaler::fit_1d(&[5.0, 5.0], -1.0, 1.0).unwrap();
+        assert_eq!(s.transform_value(0, 5.0), 0.0);
+        assert_eq!(s.inverse_value(0, 0.7), 5.0);
+    }
+
+    #[test]
+    fn minmax_inverse_roundtrip() {
+        let s = MinMaxScaler::fit_1d(&[2.0, 8.0, 5.0], 0.0, 1.0).unwrap();
+        for v in [2.0, 3.7, 8.0, 12.0] {
+            let z = s.transform_value(0, v);
+            assert!((s.inverse_value(0, z) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minmax_transform_matrix() {
+        let data = Matrix::from_rows(&[&[0.0, 1.0], &[4.0, 3.0]]).unwrap();
+        let s = MinMaxScaler::fit(&data, 0.0, 1.0).unwrap();
+        let t = s.transform(&data).unwrap();
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+        let wrong = Matrix::zeros(1, 3);
+        assert!(s.transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn minmax_validates() {
+        assert!(MinMaxScaler::fit_1d(&[], -1.0, 1.0).is_err());
+        assert!(MinMaxScaler::fit_1d(&[1.0, f64::NAN], -1.0, 1.0).is_err());
+        assert!(MinMaxScaler::fit_1d(&[1.0], 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let data = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let s = StandardScaler::fit(&data).unwrap();
+        let t = s.transform(&data).unwrap();
+        let mean: f64 = t.col(0).iter().sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        // Sample std of transformed = 1.
+        let var: f64 = t.col(0).iter().map(|z| z * z).sum::<f64>() / 2.0;
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_scaler_constant_feature_safe() {
+        let data = Matrix::from_rows(&[&[7.0], &[7.0], &[7.0]]).unwrap();
+        let s = StandardScaler::fit(&data).unwrap();
+        assert_eq!(s.transform_value(0, 7.0), 0.0);
+        assert_eq!(s.inverse_value(0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn standard_scaler_roundtrip() {
+        let data = Matrix::from_rows(&[&[1.0, -5.0], &[9.0, 3.0], &[4.0, 0.0]]).unwrap();
+        let s = StandardScaler::fit(&data).unwrap();
+        for (j, v) in [(0usize, 2.5), (1usize, -1.0)] {
+            let z = s.transform_value(j, v);
+            assert!((s.inverse_value(j, z) - v).abs() < 1e-12);
+        }
+    }
+}

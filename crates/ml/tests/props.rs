@@ -1,0 +1,152 @@
+//! Property-based tests for the ML substrate.
+
+use datatrans_linalg::Matrix;
+use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
+use datatrans_ml::cv::{k_fold, leave_one_out};
+use datatrans_ml::knn::{KnnIndex, NeighborWeighting};
+use datatrans_ml::linreg::SimpleLinearRegression;
+use datatrans_ml::scale::{MinMaxScaler, StandardScaler};
+use proptest::prelude::*;
+
+fn distinct_xs(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    // Strictly increasing xs => never constant.
+    proptest::collection::vec(0.01f64..10.0, len).prop_map(|steps| {
+        let mut acc = 0.0;
+        steps
+            .iter()
+            .map(|s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linreg_recovers_exact_line(
+        xs in distinct_xs(10),
+        slope in -5.0f64..5.0,
+        intercept in -100.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = SimpleLinearRegression::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope() - slope).abs() < 1e-6);
+        prop_assert!((fit.intercept() - intercept).abs() < 1e-5);
+        prop_assert!(fit.r_squared() > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn linreg_r2_bounded_above(xs in distinct_xs(8), ys in proptest::collection::vec(-50.0f64..50.0, 8)) {
+        let fit = SimpleLinearRegression::fit(&xs, &ys).unwrap();
+        prop_assert!(fit.r_squared() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn minmax_scaler_bounds_training_data(
+        data in proptest::collection::vec(-1000.0f64..1000.0, 12)
+    ) {
+        let m = Matrix::from_vec(12, 1, data.clone()).unwrap();
+        let s = MinMaxScaler::weka(&m).unwrap();
+        for &v in &data {
+            let z = s.transform_value(0, v);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
+            prop_assert!((s.inverse_value(0, z) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_roundtrip(
+        data in proptest::collection::vec(-100.0f64..100.0, 9)
+    ) {
+        let m = Matrix::from_vec(3, 3, data.clone()).unwrap();
+        let s = StandardScaler::fit(&m).unwrap();
+        let t = s.transform(&m).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let back = s.inverse_value(j, t[(i, j)]);
+                prop_assert!((back - m[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_nearest_distances_sorted(
+        data in proptest::collection::vec(-10.0f64..10.0, 24),
+        query in proptest::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let points = Matrix::from_vec(8, 3, data).unwrap();
+        let index = KnnIndex::fit(points).unwrap();
+        let neighbors = index.nearest(&query, 8).unwrap();
+        for w in neighbors.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn knn_prediction_within_target_hull(
+        data in proptest::collection::vec(-10.0f64..10.0, 20),
+        targets in proptest::collection::vec(0.0f64..100.0, 10),
+        query in proptest::collection::vec(-10.0f64..10.0, 2),
+        k in 1usize..10,
+    ) {
+        let points = Matrix::from_vec(10, 2, data).unwrap();
+        let index = KnnIndex::fit(points).unwrap();
+        for weighting in [NeighborWeighting::Uniform, NeighborWeighting::InverseDistance] {
+            let p = index.predict(&query, k, &targets, weighting).unwrap();
+            let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmedoids_assignments_point_to_nearest(
+        data in proptest::collection::vec(-50.0f64..50.0, 30),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let points = Matrix::from_vec(15, 2, data).unwrap();
+        let result = k_medoids(&points, &KMedoidsConfig::new(k, seed)).unwrap();
+        prop_assert_eq!(result.medoids.len(), k);
+        for i in 0..15 {
+            let own = result.medoids[result.assignments[i]];
+            let d_own: f64 = (0..2)
+                .map(|j| (points[(i, j)] - points[(own, j)]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            for &m in &result.medoids {
+                let d_m: f64 = (0..2)
+                    .map(|j| (points[(i, j)] - points[(m, j)]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                prop_assert!(d_own <= d_m + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_partitions(n in 4usize..40, k in 2usize..4, seed in 0u64..50) {
+        let k = k.min(n);
+        let folds = k_fold(n, k, seed).unwrap();
+        let mut count = vec![0usize; n];
+        for f in &folds {
+            for &i in &f.test {
+                count[i] += 1;
+            }
+            prop_assert_eq!(f.train.len() + f.test.len(), n);
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn loo_covers_all(n in 2usize..30) {
+        let folds = leave_one_out(n).unwrap();
+        prop_assert_eq!(folds.len(), n);
+        for (i, f) in folds.iter().enumerate() {
+            prop_assert_eq!(&f.test, &vec![i]);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Non-parametric bootstrap confidence intervals.
+//!
+//! Used by the experiment harness to attach uncertainty to aggregate metrics
+//! (the paper reports point estimates only; the bootstrap is our extension).
+
+use crate::{Result, StatsError};
+
+/// A two-sided percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+/// Deterministic xorshift64* stream; avoids pulling `rand` into this crate.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+///
+/// Resamples `data` with replacement `resamples` times, evaluates
+/// `statistic` on each resample, and returns the percentile interval at
+/// `level` (e.g. `0.95`). Fully deterministic given `seed`.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `data` is empty or `resamples == 0`.
+/// * [`StatsError::InvalidParameter`] if `level` is outside `(0, 1)`.
+/// * Any error returned by `statistic` on the full sample is propagated;
+///   resamples where the statistic fails (e.g. constant resample for a
+///   correlation) are skipped.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_stats::bootstrap::bootstrap_ci;
+/// use datatrans_stats::summary::mean;
+///
+/// # fn main() -> Result<(), datatrans_stats::StatsError> {
+/// let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let ci = bootstrap_ci(&data, |s| mean(s), 500, 0.95, 42)?;
+/// assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bootstrap_ci(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> Result<f64>,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    if data.is_empty() {
+        return Err(StatsError::Empty { what: "data" });
+    }
+    if resamples == 0 {
+        return Err(StatsError::Empty { what: "resamples" });
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "level",
+            value: level,
+        });
+    }
+    let estimate = statistic(data)?;
+    let mut rng = XorShift64::new(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = data[rng.next_index(data.len())];
+        }
+        if let Ok(s) = statistic(&scratch) {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return Err(StatsError::Empty {
+            what: "successful bootstrap resamples",
+        });
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 - 1.0) * alpha).round() as usize;
+    let hi_idx = ((stats.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
+    Ok(ConfidenceInterval {
+        estimate,
+        lower: stats[lo_idx],
+        upper: stats[hi_idx],
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::mean;
+
+    #[test]
+    fn ci_brackets_the_estimate() {
+        let data: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(&data, |s| mean(s), 1000, 0.95, 7).unwrap();
+        assert!(ci.lower <= ci.estimate);
+        assert!(ci.estimate <= ci.upper);
+        // The mean of 1..=50 is 25.5 and the CI should be reasonably tight.
+        assert!((ci.estimate - 25.5).abs() < 1e-12);
+        assert!(ci.upper - ci.lower < 15.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let a = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 11).unwrap();
+        let b = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let a = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 11).unwrap();
+        let b = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 12).unwrap();
+        assert!(a.lower != b.lower || a.upper != b.upper);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let data = [1.0, 2.0];
+        assert!(bootstrap_ci(&[], |s| mean(s), 10, 0.9, 1).is_err());
+        assert!(bootstrap_ci(&data, |s| mean(s), 0, 0.9, 1).is_err());
+        assert!(bootstrap_ci(&data, |s| mean(s), 10, 1.0, 1).is_err());
+        assert!(bootstrap_ci(&data, |s| mean(s), 10, 0.0, 1).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixed-width histogram, used for distribution summaries in reports.
+
+use crate::{Result, StatsError};
+
+/// A fixed-width histogram over a closed interval.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_stats::histogram::Histogram;
+///
+/// # fn main() -> Result<(), datatrans_stats::StatsError> {
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for v in [1.0, 2.5, 2.6, 9.9, 10.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts()[0], 1); // [0,2)
+/// assert_eq!(h.counts()[1], 2); // [2,4)
+/// assert_eq!(h.counts()[4], 2); // [8,10] (upper edge inclusive)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above `hi` (or non-finite).
+    outliers: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] if `bins == 0` or `lo >= hi` or the
+    ///   bounds are not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::InvalidParameter {
+                name: "bounds (need finite lo < hi)",
+                value: lo,
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+            total: 0,
+        })
+    }
+
+    /// Adds one sample. Non-finite or out-of-range samples count as outliers.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if !value.is_finite() || value < self.lo || value > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut bin = ((value - self.lo) / width) as usize;
+        if bin >= self.counts.len() {
+            bin = self.counts.len() - 1; // upper edge inclusive
+        }
+        self.counts[bin] += 1;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples that fell outside `[lo, hi]` or were non-finite.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(low, high)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend([0.0, 0.9, 1.0, 3.9, 4.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn outliers_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend([-0.1, 1.1, f64::NAN, 0.5]);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn validates_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 3).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+}

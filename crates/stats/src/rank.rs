@@ -1,0 +1,201 @@
+//! Tie-aware ranking utilities.
+//!
+//! Rank 1 is assigned to the *largest* value by [`rank_descending`] (the
+//! natural convention for machine rankings, where the best machine is #1)
+//! and to the smallest value by [`rank_ascending`]. Ties receive the average
+//! of the ranks they span ("fractional ranking"), the convention required by
+//! the Spearman coefficient.
+
+use crate::{Result, StatsError};
+
+/// Assigns fractional ranks with rank 1 for the smallest value.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `values` is empty.
+/// * [`StatsError::NonFinite`] if any value is NaN or infinite.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_stats::rank::rank_ascending;
+///
+/// # fn main() -> Result<(), datatrans_stats::StatsError> {
+/// let r = rank_ascending(&[10.0, 20.0, 20.0, 40.0])?;
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]); // tie splits ranks 2 and 3
+/// # Ok(())
+/// # }
+/// ```
+pub fn rank_ascending(values: &[f64]) -> Result<Vec<f64>> {
+    ranks_impl(values, false)
+}
+
+/// Assigns fractional ranks with rank 1 for the *largest* value.
+///
+/// This is the machine-ranking convention: the best-performing machine gets
+/// rank 1.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `values` is empty.
+/// * [`StatsError::NonFinite`] if any value is NaN or infinite.
+pub fn rank_descending(values: &[f64]) -> Result<Vec<f64>> {
+    ranks_impl(values, true)
+}
+
+/// Indices that would sort `values` in descending order (best first).
+///
+/// Stable: equal values keep their original relative order.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `values` is empty.
+/// * [`StatsError::NonFinite`] if any value is NaN or infinite.
+pub fn argsort_descending(values: &[f64]) -> Result<Vec<usize>> {
+    validate(values)?;
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("validated finite values")
+    });
+    Ok(idx)
+}
+
+/// Index of the maximum value (ties resolved to the first occurrence).
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `values` is empty.
+/// * [`StatsError::NonFinite`] if any value is NaN or infinite.
+pub fn argmax(values: &[f64]) -> Result<usize> {
+    validate(values)?;
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Index of the minimum value (ties resolved to the first occurrence).
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `values` is empty.
+/// * [`StatsError::NonFinite`] if any value is NaN or infinite.
+pub fn argmin(values: &[f64]) -> Result<usize> {
+    validate(values)?;
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v < values[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+fn validate(values: &[f64]) -> Result<()> {
+    if values.is_empty() {
+        return Err(StatsError::Empty { what: "values" });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+fn ranks_impl(values: &[f64], descending: bool) -> Result<Vec<f64>> {
+    validate(values)?;
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    if descending {
+        idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite"));
+    } else {
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    }
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the group; ranks are 1-based.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for k in i..j {
+            ranks[idx[k]] = avg;
+        }
+        i = j;
+    }
+    Ok(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_no_ties() {
+        let r = rank_ascending(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn descending_no_ties() {
+        let r = rank_descending(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        let r = rank_ascending(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = rank_descending(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Sum of fractional ranks is always n(n+1)/2.
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let n = vals.len() as f64;
+        let sum: f64 = rank_ascending(&vals).unwrap().iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argsort_descending_orders_best_first() {
+        let order = argsort_descending(&[1.0, 5.0, 3.0]).unwrap();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_is_stable_for_ties() {
+        let order = argsort_descending(&[2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 9.0, 3.0]).unwrap(), 1);
+        assert_eq!(argmin(&[1.0, 9.0, 3.0]).unwrap(), 0);
+        // First occurrence wins ties.
+        assert_eq!(argmax(&[7.0, 7.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(matches!(
+            rank_ascending(&[]),
+            Err(StatsError::Empty { .. })
+        ));
+        assert!(matches!(
+            rank_descending(&[1.0, f64::NAN]),
+            Err(StatsError::NonFinite)
+        ));
+        assert!(argmax(&[]).is_err());
+    }
+}

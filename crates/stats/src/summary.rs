@@ -1,0 +1,247 @@
+//! Descriptive statistics: means (arithmetic, geometric, harmonic),
+//! dispersion, quantiles, and standardization helpers.
+//!
+//! SPEC aggregates benchmark ratios with the *geometric* mean, so
+//! [`geometric_mean`] is a first-class citizen here.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] on empty input.
+/// * [`StatsError::NonFinite`] on NaN/infinite input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    validate(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Geometric mean; requires strictly positive input.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] / [`StatsError::NonFinite`] as for [`mean`].
+/// * [`StatsError::InvalidParameter`] if any value is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_stats::summary::geometric_mean;
+///
+/// # fn main() -> Result<(), datatrans_stats::StatsError> {
+/// let g = geometric_mean(&[1.0, 4.0, 16.0])?;
+/// assert!((g - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
+    validate(xs)?;
+    for &x in xs {
+        if x <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "geometric_mean input (must be > 0)",
+                value: x,
+            });
+        }
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Ok((log_sum / xs.len() as f64).exp())
+}
+
+/// Harmonic mean; requires strictly positive input.
+///
+/// # Errors
+///
+/// Same conditions as [`geometric_mean`].
+pub fn harmonic_mean(xs: &[f64]) -> Result<f64> {
+    validate(xs)?;
+    for &x in xs {
+        if x <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "harmonic_mean input (must be > 0)",
+                value: x,
+            });
+        }
+    }
+    Ok(xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>())
+}
+
+/// Unbiased sample variance (divides by `n − 1`).
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if fewer than 2 points.
+/// * [`StatsError::NonFinite`] on NaN/infinite input.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(StatsError::Empty {
+            what: "sample (need at least 2 points for variance)",
+        });
+    }
+    validate(xs)?;
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+///
+/// # Errors
+///
+/// Same conditions as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Minimum value.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] / [`StatsError::NonFinite`] as for [`mean`].
+pub fn min(xs: &[f64]) -> Result<f64> {
+    validate(xs)?;
+    Ok(xs.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum value.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] / [`StatsError::NonFinite`] as for [`mean`].
+pub fn max(xs: &[f64]) -> Result<f64> {
+    validate(xs)?;
+    Ok(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Linear-interpolation quantile, `q ∈ [0, 1]`.
+///
+/// Uses the "linear" (type-7) method, matching NumPy's default.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidParameter`] if `q` is outside `[0, 1]`.
+/// * [`StatsError::Empty`] / [`StatsError::NonFinite`] as for [`mean`].
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    validate(xs)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "quantile q",
+            value: q,
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 [`quantile`]).
+///
+/// # Errors
+///
+/// Same conditions as [`quantile`].
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Standardizes values to zero mean and unit standard deviation.
+///
+/// Returns the standardized values along with the `(mean, std_dev)` used, so
+/// the transform can be applied to held-out data.
+///
+/// # Errors
+///
+/// * [`StatsError::ConstantInput`] if the sample has zero variance.
+/// * Conditions of [`variance`] otherwise.
+pub fn standardize(xs: &[f64]) -> Result<(Vec<f64>, f64, f64)> {
+    let m = mean(xs)?;
+    let s = std_dev(xs)?;
+    if s == 0.0 {
+        return Err(StatsError::ConstantInput);
+    }
+    Ok((xs.iter().map(|x| (x - m) / s).collect(), m, s))
+}
+
+fn validate(xs: &[f64]) -> Result<()> {
+    if xs.is_empty() {
+        return Err(StatsError::Empty { what: "sample" });
+    }
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        // Harmonic of 2,6 = 2*2*6/(2+6) = 3.
+        assert!((harmonic_mean(&[2.0, 6.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_inequality_chain() {
+        // For non-constant positive data: harmonic < geometric < arithmetic.
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        let h = harmonic_mean(&xs).unwrap();
+        let g = geometric_mean(&xs).unwrap();
+        let a = mean(&xs).unwrap();
+        assert!(h < g && g < a);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn variance_and_std() {
+        // Sample variance of [2,4,4,4,5,5,7,9] is 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&[3.0, 1.0, 2.0]).unwrap(), 1.0);
+        assert_eq!(max(&[3.0, 1.0, 2.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 1.75); // numpy type-7
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn standardize_roundtrip() {
+        let xs = [10.0, 20.0, 30.0];
+        let (z, m, s) = standardize(&xs).unwrap();
+        assert!((mean(&z).unwrap()).abs() < 1e-12);
+        assert!((std_dev(&z).unwrap() - 1.0).abs() < 1e-12);
+        // Inverse transform recovers the data.
+        for (zi, xi) in z.iter().zip(&xs) {
+            assert!((zi * s + m - xi).abs() < 1e-12);
+        }
+        assert!(matches!(
+            standardize(&[5.0, 5.0]),
+            Err(StatsError::ConstantInput)
+        ));
+    }
+}

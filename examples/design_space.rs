@@ -1,0 +1,75 @@
+//! Fast design-space exploration (paper §4): rank 24 hypothetical
+//! processor configurations for a new workload without simulating the
+//! workload on any of them.
+//!
+//! The benchmark suite is "simulated" once per design point (expensive but
+//! reusable); the new workload only runs on a few real machines.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use datatrans::core::apps::dse::{explore_designs, sweep_frequency_cache};
+use datatrans::core::model::MlpT;
+use datatrans::core::select::select_k_medoids;
+use datatrans::dataset::catalog::nickname_specs;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::workload_synth::{synthesize, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = generate(&DatasetConfig::default())?;
+
+    // Base design: a Nehalem-class core; sweep frequency × L3 size.
+    let base = nickname_specs()
+        .into_iter()
+        .find(|s| s.nickname == "Gainestown")
+        .expect("catalog contains Gainestown")
+        .template;
+    let freqs = [1.6, 2.0, 2.4, 2.8, 3.2, 3.6];
+    let l3s = [2048.0, 4096.0, 8192.0, 16384.0];
+    let designs = sweep_frequency_cache(&base, &freqs, &l3s);
+    println!(
+        "design space: {} points ({} frequencies × {} L3 sizes)",
+        designs.len(),
+        freqs.len(),
+        l3s.len()
+    );
+
+    // The user's real machines, picked by k-medoids.
+    let pool: Vec<usize> = (0..db.n_machines()).collect();
+    let predictive = select_k_medoids(&db, &pool, 5, 21)?;
+
+    for profile in [WorkloadProfile::Streaming, WorkloadProfile::Embedded] {
+        let app = synthesize(profile, 33);
+        let outcome = explore_designs(&db, &app, &designs, &predictive, &MlpT::default(), 4)?;
+        println!("\nworkload: {profile}");
+        println!("  predicted best design:  #{}", outcome.best_design());
+        let d = &designs[outcome.best_design()];
+        println!(
+            "    {:.1} GHz, L3 {} KiB  (predicted {:.1}, actual {:.1})",
+            d.freq_ghz,
+            d.l3_kib,
+            outcome.predicted[outcome.best_design()],
+            outcome.actual[outcome.best_design()]
+        );
+        println!(
+            "  top-1 deficiency vs oracle: {:.1}%",
+            outcome.top1_deficiency_pct()
+        );
+        // Show the predicted top-3 vs oracle top-3.
+        let mut oracle_order: Vec<usize> = (0..designs.len()).collect();
+        oracle_order.sort_by(|&a, &b| {
+            outcome.actual[b]
+                .partial_cmp(&outcome.actual[a])
+                .expect("finite scores")
+        });
+        println!(
+            "  predicted top-3 designs: {:?}   oracle top-3: {:?}",
+            outcome.ranking.top_n(3),
+            &oracle_order[..3]
+        );
+    }
+    println!("\n(each design point only ever 'simulates' the 29 public benchmarks;");
+    println!(" the proprietary workload never touches the simulator)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Purchasing advisor (paper §4): a phone company must pick the processor
+//! for its next product, but its codec stack is proprietary and nothing in
+//! the public benchmark suite looks like it.
+//!
+//! The advisor compares all three methods — the two transposition models
+//! and the GA-kNN prior art — for five different in-house workloads, and
+//! grades every recommendation against the oracle.
+//!
+//! ```text
+//! cargo run --release --example purchasing_advisor
+//! ```
+
+use datatrans::core::apps::purchasing::{oracle_deficiency_pct, recommend};
+use datatrans::core::model::{GaKnn, MlpT, NnT, Predictor};
+use datatrans::core::select::select_k_medoids;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::workload_synth::{synthesize, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = generate(&DatasetConfig::default())?;
+
+    // Candidate purchases: everything released 2008 or later.
+    let candidates: Vec<usize> = (0..db.n_machines())
+        .filter(|&m| db.machines()[m].year >= 2008)
+        .collect();
+    // In-house lab: five diverse older machines (k-medoids over the rest).
+    let pool: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !candidates.contains(m))
+        .collect();
+    let predictive = select_k_medoids(&db, &pool, 5, 9)?;
+
+    println!(
+        "candidates: {} machines (2008+); lab machines: {}",
+        candidates.len(),
+        predictive.len()
+    );
+
+    let methods: Vec<Box<dyn Predictor>> = vec![
+        Box::new(MlpT::default()),
+        Box::new(NnT::default()),
+        Box::new(GaKnn::default()),
+    ];
+
+    println!(
+        "\n{:<16} {:<10} {:<34} {:>12}",
+        "workload", "method", "recommended machine", "deficiency"
+    );
+    for profile in WorkloadProfile::ALL {
+        let app = synthesize(profile, 77);
+        for method in &methods {
+            let report = recommend(&db, &app, &predictive, &candidates, method.as_ref(), 5)?;
+            let deficiency = oracle_deficiency_pct(&db, &app, &candidates, &report);
+            println!(
+                "{:<16} {:<10} {:<34} {:>11.1}%",
+                profile.to_string(),
+                report.method,
+                report.best().label,
+                deficiency
+            );
+        }
+        println!();
+    }
+    println!("deficiency = actual performance lost vs the true best candidate (0% = optimal)");
+    Ok(())
+}

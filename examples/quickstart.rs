@@ -1,0 +1,79 @@
+//! Quickstart: rank 100+ commercial machines for an application you can
+//! only run on the three machines you own.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use datatrans::core::model::{MlpT, NnT, Predictor};
+use datatrans::core::ranking::Ranking;
+use datatrans::core::select::select_k_medoids;
+use datatrans::core::task::PredictionTask;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::perf_model::spec_ratio;
+use datatrans::dataset::workload_synth::{synthesize, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The published performance database (stand-in for the SPEC CPU2006
+    //    results archive): 29 benchmarks × 117 machines.
+    let db = generate(&DatasetConfig::default())?;
+    println!(
+        "database: {} benchmarks × {} machines",
+        db.n_benchmarks(),
+        db.n_machines()
+    );
+
+    // 2. Your proprietary application. You cannot ship it to vendors, but
+    //    you can run it on machines you own.
+    let app = synthesize(WorkloadProfile::ServerInteger, 2024);
+    println!("application of interest: server-integer workload");
+
+    // 3. Pick the machines to benchmark in-house: k-medoids over the
+    //    database gives a small, behaviourally diverse set (paper §6.5).
+    let pool: Vec<usize> = (0..db.n_machines()).collect();
+    let predictive = select_k_medoids(&db, &pool, 5, 42)?;
+    println!("\npredictive machines (k-medoids selection):");
+    for &m in &predictive {
+        let machine = &db.machines()[m];
+        println!("  {} {} ({})", machine.family, machine.name, machine.year);
+    }
+
+    // 4. Every other machine is a potential purchase.
+    let targets: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !predictive.contains(m))
+        .collect();
+    let task = PredictionTask::external_app(&db, &app, &predictive, &targets, 7)?;
+
+    // 5. Rank the targets with both transposition models.
+    for method in [&MlpT::default() as &dyn Predictor, &NnT::default()] {
+        let predicted = method.predict(&task)?;
+        let ranking = Ranking::from_scores(&predicted)?;
+        println!("\ntop-5 according to {}:", method.name());
+        for (rank, &pos) in ranking.top_n(5).iter().enumerate() {
+            let m = &db.machines()[targets[pos]];
+            println!(
+                "  {}. {} {} ({})  predicted score {:.1}",
+                rank + 1,
+                m.family,
+                m.name,
+                m.year,
+                predicted[pos]
+            );
+        }
+        // Grade against the oracle (the performance model playing the role
+        // of actually buying the machine and running the app).
+        let actual: Vec<f64> = targets
+            .iter()
+            .map(|&m| spec_ratio(&db.machines()[m].micro, &app))
+            .collect();
+        let actual_best = actual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let chosen = actual[ranking.top1()];
+        println!(
+            "  chosen machine achieves {:.1}; true best is {:.1} → deficiency {:.1}%",
+            chosen,
+            actual_best,
+            ((actual_best - chosen) / chosen * 100.0).max(0.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Accuracy floors: the qualitative claims of the paper must hold on the
+//! default dataset. These tests run reduced-budget versions of the
+//! evaluation harnesses (full budgets live in `repro`).
+
+use datatrans::core::eval::family_cv::{family_cross_validation, FamilyCvConfig};
+use datatrans::core::eval::fit::{goodness_of_fit_curve, FitCurveConfig};
+use datatrans::core::model::Predictor;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::machine::ProcessorFamily;
+use datatrans::experiments::ExperimentConfig;
+
+fn reduced_methods() -> Vec<Box<dyn Predictor + Send + Sync>> {
+    let mut config = ExperimentConfig::default();
+    config.mlp_epochs = 200;
+    config.ga_population = 16;
+    config.ga_generations = 12;
+    config.methods()
+}
+
+#[test]
+fn transposition_beats_chance_by_wide_margin() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let report = family_cross_validation(
+        &db,
+        &reduced_methods(),
+        &FamilyCvConfig {
+            families: Some(vec![
+                ProcessorFamily::Xeon,
+                ProcessorFamily::OpteronK10,
+                ProcessorFamily::Core2,
+            ]),
+            apps: Some(vec![0, 7, 15, 21]),
+            ..FamilyCvConfig::default()
+        },
+    )
+    .expect("cv runs");
+    for method in report.methods() {
+        let agg = report.aggregate_method(&method).expect("aggregate");
+        assert!(
+            agg.mean_rank_correlation > 0.6,
+            "{method}: mean rank correlation {:.2}",
+            agg.mean_rank_correlation
+        );
+    }
+}
+
+#[test]
+fn mlpt_is_the_most_accurate_method() {
+    // The paper's headline: MLP^T beats NN^T and GA-kNN on rank
+    // correlation under family cross-validation.
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let report = family_cross_validation(
+        &db,
+        &reduced_methods(),
+        &FamilyCvConfig {
+            families: Some(vec![
+                ProcessorFamily::Xeon,
+                ProcessorFamily::Power6,
+                ProcessorFamily::Sparc64Vii,
+                ProcessorFamily::PentiumD,
+            ]),
+            apps: Some((0..12).collect()),
+            ..FamilyCvConfig::default()
+        },
+    )
+    .expect("cv runs");
+    let mlpt = report.aggregate_method("MLP^T").expect("mlpt");
+    let nnt = report.aggregate_method("NN^T").expect("nnt");
+    assert!(
+        mlpt.mean_rank_correlation > nnt.mean_rank_correlation,
+        "MLP^T {:.3} should beat NN^T {:.3}",
+        mlpt.mean_rank_correlation,
+        nnt.mean_rank_correlation
+    );
+    assert!(
+        mlpt.mean_error_pct < nnt.mean_error_pct,
+        "MLP^T mean error {:.2} should beat NN^T {:.2}",
+        mlpt.mean_error_pct,
+        nnt.mean_error_pct
+    );
+}
+
+#[test]
+fn kmedoids_selection_beats_random_at_small_k() {
+    // Figure 8's claim, on a reduced sweep.
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let points = goodness_of_fit_curve(
+        &db,
+        &FitCurveConfig {
+            ks: vec![2, 4],
+            random_trials: 6,
+            apps: Some(vec![2, 9, 16, 23]),
+            ..FitCurveConfig::default()
+        },
+    )
+    .expect("curve");
+    let mean_kmedoids: f64 =
+        points.iter().map(|p| p.kmedoids_r2).sum::<f64>() / points.len() as f64;
+    let mean_random: f64 =
+        points.iter().map(|p| p.random_r2).sum::<f64>() / points.len() as f64;
+    assert!(
+        mean_kmedoids > mean_random,
+        "k-medoids {mean_kmedoids:.3} should beat random {mean_random:.3}"
+    );
+}
+
+#[test]
+fn near_future_prediction_works() {
+    // Table 3's 2008 → 2009 case: strong accuracy with a one-year gap.
+    use datatrans::core::eval::temporal::{temporal_evaluation, TemporalConfig};
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let report = temporal_evaluation(
+        &db,
+        &reduced_methods(),
+        &TemporalConfig {
+            apps: Some(vec![1, 8, 20]),
+            ..TemporalConfig::default()
+        },
+    )
+    .expect("temporal runs");
+    for method in ["NN^T", "MLP^T"] {
+        let agg = report
+            .aggregate_method_fold(method, "2008")
+            .expect("aggregate");
+        assert!(
+            agg.mean_rank_correlation > 0.7,
+            "{method} 2008→2009 rank correlation {:.2}",
+            agg.mean_rank_correlation
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Reproducibility: everything is a pure function of explicit seeds.
+
+use datatrans::core::model::{GaKnn, MlpT, NnT, Predictor};
+use datatrans::core::select::{select_k_medoids, select_random};
+use datatrans::core::task::PredictionTask;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::machine::ProcessorFamily;
+
+fn task_with_seed(seed: u64) -> PredictionTask {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let targets = db.machines_in_family(ProcessorFamily::Phenom);
+    let predictive: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !targets.contains(m))
+        .collect();
+    PredictionTask::leave_one_out(&db, 4, &predictive, &targets, seed).expect("task")
+}
+
+#[test]
+fn dataset_bitwise_reproducible() {
+    let a = generate(&DatasetConfig::default()).expect("dataset");
+    let b = generate(&DatasetConfig::default()).expect("dataset");
+    assert_eq!(a, b);
+    for bench in 0..a.n_benchmarks() {
+        for m in 0..a.n_machines() {
+            assert_eq!(a.score(bench, m).to_bits(), b.score(bench, m).to_bits());
+        }
+    }
+}
+
+#[test]
+fn predictors_reproducible_given_seed() {
+    let task = task_with_seed(5);
+    for method in [
+        &NnT::default() as &dyn Predictor,
+        &MlpT::default(),
+        &GaKnn::default(),
+    ] {
+        let a = method.predict(&task).expect("prediction");
+        let b = method.predict(&task).expect("prediction");
+        assert_eq!(a, b, "{} not reproducible", method.name());
+    }
+}
+
+#[test]
+fn stochastic_predictors_respond_to_seed() {
+    let task_a = task_with_seed(5);
+    let task_b = task_with_seed(6);
+    // MLP^T and GA-kNN are stochastic: different task seeds → different fits.
+    let mlpt = MlpT::default();
+    assert_ne!(
+        mlpt.predict(&task_a).expect("a"),
+        mlpt.predict(&task_b).expect("b")
+    );
+    // NN^T is deterministic: seed must not matter.
+    let nnt = NnT::default();
+    assert_eq!(
+        nnt.predict(&task_a).expect("a"),
+        nnt.predict(&task_b).expect("b")
+    );
+}
+
+#[test]
+fn selection_reproducible() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let pool: Vec<usize> = (0..60).collect();
+    assert_eq!(
+        select_random(&pool, 7, 3).expect("random"),
+        select_random(&pool, 7, 3).expect("random")
+    );
+    assert_eq!(
+        select_k_medoids(&db, &pool, 4, 3).expect("medoids"),
+        select_k_medoids(&db, &pool, 4, 3).expect("medoids")
+    );
+}
+
+#[test]
+fn different_dataset_seeds_give_different_worlds() {
+    let a = generate(&DatasetConfig {
+        seed: 1,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset");
+    let b = generate(&DatasetConfig {
+        seed: 2,
+        ..DatasetConfig::default()
+    })
+    .expect("dataset");
+    assert_ne!(a, b);
+    // Same catalog structure regardless of seed.
+    assert_eq!(a.n_machines(), b.n_machines());
+    assert_eq!(a.n_benchmarks(), b.n_benchmarks());
+    for (ma, mb) in a.machines().iter().zip(b.machines()) {
+        assert_eq!(ma.nickname, mb.nickname);
+        assert_eq!(ma.year, mb.year);
+    }
+}

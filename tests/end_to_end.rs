@@ -1,0 +1,127 @@
+//! End-to-end integration: dataset → task → models → ranking → metrics.
+
+use datatrans::core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
+use datatrans::core::ranking::{EvalMetrics, Ranking};
+use datatrans::core::task::PredictionTask;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::machine::ProcessorFamily;
+use datatrans::ml::ga::GaConfig;
+
+fn family_task(
+    db: &datatrans::dataset::database::PerfDatabase,
+    family: ProcessorFamily,
+    app_name: &str,
+) -> (PredictionTask, Vec<f64>) {
+    let targets = db.machines_in_family(family);
+    let predictive: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !targets.contains(m))
+        .collect();
+    let app = db.benchmark_index(app_name).expect("app exists");
+    let task = PredictionTask::leave_one_out(db, app, &predictive, &targets, 99)
+        .expect("valid task");
+    let actual = PredictionTask::actual_scores(db, app, &targets);
+    (task, actual)
+}
+
+#[test]
+fn full_pipeline_xeon_fold_all_methods() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let (task, actual) = family_task(&db, ProcessorFamily::Xeon, "gcc");
+
+    let methods: Vec<Box<dyn Predictor>> = vec![
+        Box::new(NnT::default()),
+        Box::new(MlpT::default()),
+        Box::new(GaKnn {
+            config: GaKnnConfig {
+                ga: GaConfig {
+                    population: 16,
+                    generations: 10,
+                    ..GaConfig::default_seeded(0)
+                },
+                ..GaKnnConfig::default()
+            },
+        }),
+    ];
+    for method in &methods {
+        let predicted = method.predict(&task).expect("prediction succeeds");
+        assert_eq!(predicted.len(), 39);
+        assert!(predicted.iter().all(|p| p.is_finite() && *p > 0.0));
+        let metrics = EvalMetrics::compute(&predicted, &actual).expect("metrics");
+        assert!(
+            metrics.rank_correlation > 0.5,
+            "{} rank correlation {:.2} too low on an easy fold",
+            method.name(),
+            metrics.rank_correlation
+        );
+        let ranking = Ranking::from_scores(&predicted).expect("ranking");
+        assert_eq!(ranking.order().len(), 39);
+    }
+}
+
+#[test]
+fn transposition_handles_streaming_outlier() {
+    // libquantum is the paper's canonical outlier; MLP^T must still rank
+    // the Xeon machines accurately.
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let (task, actual) = family_task(&db, ProcessorFamily::Xeon, "libquantum");
+    let predicted = MlpT::default().predict(&task).expect("prediction");
+    let metrics = EvalMetrics::compute(&predicted, &actual).expect("metrics");
+    assert!(
+        metrics.rank_correlation > 0.8,
+        "MLP^T libquantum rank correlation {:.2}",
+        metrics.rank_correlation
+    );
+    assert!(
+        metrics.top1_error_pct < 15.0,
+        "MLP^T libquantum top-1 error {:.1}%",
+        metrics.top1_error_pct
+    );
+}
+
+#[test]
+fn every_family_fold_is_well_formed() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    for family in ProcessorFamily::ALL {
+        let targets = db.machines_in_family(family);
+        assert!(
+            targets.len() >= 3,
+            "{family} has too few machines: {}",
+            targets.len()
+        );
+        assert_eq!(targets.len() % 3, 0, "{family} count not a multiple of 3");
+        let (task, actual) = family_task(&db, family, "bzip2");
+        assert_eq!(task.n_targets(), targets.len());
+        assert_eq!(task.n_predictive() + targets.len(), 117);
+        assert_eq!(actual.len(), targets.len());
+    }
+}
+
+#[test]
+fn nnt_explains_its_neighbor_choice() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let (task, _) = family_task(&db, ProcessorFamily::CoreI7, "milc");
+    let with_neighbors = NnT::default()
+        .predict_with_neighbors(&task)
+        .expect("prediction");
+    // Every chosen neighbor must be a valid predictive machine index.
+    for (_, neighbor) in &with_neighbors {
+        assert!(*neighbor < task.n_predictive());
+    }
+    // Core i7 Bloomfield XE targets should pick Nehalem-class predictive
+    // machines (Xeon Bloomfield/Gainestown/Lynnfield are the twins).
+    let targets = db.machines_in_family(ProcessorFamily::CoreI7);
+    let predictive: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !targets.contains(m))
+        .collect();
+    for (_, neighbor) in &with_neighbors {
+        let machine = &db.machines()[predictive[*neighbor]];
+        assert!(
+            machine.nickname.contains("Bloomfield")
+                || machine.nickname.contains("Gainestown")
+                || machine.nickname.contains("Lynnfield"),
+            "unexpected neighbor for a Nehalem target: {} {}",
+            machine.family,
+            machine.name,
+        );
+    }
+}
