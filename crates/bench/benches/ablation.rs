@@ -1,7 +1,7 @@
 //! Timing ablation: how model runtime scales with the hyper-parameters
 //! DESIGN.md calls out. Accuracy ablation lives in `repro -- ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_task};
 use datatrans_core::model::{FitCriterion, GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use datatrans_ml::ga::GaConfig;

@@ -2,8 +2,8 @@
 //! error). Both figures share one cross-validation run; this bench
 //! measures the aggregation paths on top of it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use datatrans_bench::bench_config;
+use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
 use datatrans_experiments::{fig6, fig7, table2};
 
 fn bench_figures(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Bench for Figure 8 (k-medoids vs random predictive-machine selection).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use datatrans_bench::bench_config;
+use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
 use datatrans_experiments::fig8;
 
 fn bench_fig8(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 //! the three predictors on one task, dataset generation, Spearman,
 //! k-medoids, QR least squares, and MLP training.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
 use datatrans_bench::{bench_database, bench_task};
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use datatrans_dataset::generator::{generate, DatasetConfig};
@@ -53,8 +53,12 @@ fn bench_substrates(c: &mut Criterion) {
         })
     });
     group.bench_function("spearman_117", |b| {
-        let xs: Vec<f64> = (0..117).map(|i| (i as f64 * 0.7).sin() * 50.0 + 60.0).collect();
-        let ys: Vec<f64> = (0..117).map(|i| (i as f64 * 0.7 + 0.3).sin() * 45.0 + 55.0).collect();
+        let xs: Vec<f64> = (0..117)
+            .map(|i| (i as f64 * 0.7).sin() * 50.0 + 60.0)
+            .collect();
+        let ys: Vec<f64> = (0..117)
+            .map(|i| (i as f64 * 0.7 + 0.3).sin() * 45.0 + 55.0)
+            .collect();
         b.iter(|| std::hint::black_box(spearman(&xs, &ys).expect("spearman")))
     });
     group.bench_function("kmedoids_117_k5", |b| {
@@ -62,9 +66,7 @@ fn bench_substrates(c: &mut Criterion) {
             db.score(bench, m).ln()
         });
         b.iter(|| {
-            std::hint::black_box(
-                k_medoids(&points, &KMedoidsConfig::new(5, 7)).expect("kmedoids"),
-            )
+            std::hint::black_box(k_medoids(&points, &KMedoidsConfig::new(5, 7)).expect("kmedoids"))
         })
     });
     group.bench_function("qr_lstsq_100x10", |b| {

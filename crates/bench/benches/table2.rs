@@ -4,8 +4,8 @@
 //! paper-scale numbers with `cargo run --release -p datatrans-experiments
 //! --bin repro -- table2`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use datatrans_bench::bench_config;
+use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
 use datatrans_experiments::table2;
 
 fn bench_table2(c: &mut Criterion) {

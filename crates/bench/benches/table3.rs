@@ -1,7 +1,7 @@
 //! Bench for Table 3 (temporal prediction of 2009 machines).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use datatrans_bench::bench_config;
+use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
 use datatrans_experiments::table3;
 
 fn bench_table3(c: &mut Criterion) {

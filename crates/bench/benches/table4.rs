@@ -1,7 +1,7 @@
 //! Bench for Table 4 (limited predictive machine sets).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use datatrans_bench::bench_config;
+use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
 use datatrans_experiments::table4;
 
 fn bench_table4(c: &mut Criterion) {

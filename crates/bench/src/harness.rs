@@ -1,0 +1,321 @@
+//! A minimal, dependency-free Criterion-style benchmark harness.
+//!
+//! The workspace cannot depend on the `criterion` crate (it would be its
+//! only external dependency), so this module provides the narrow slice of
+//! its API the benches use — [`Criterion`], benchmark groups,
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple warmup-then-sample
+//! wall-clock measurement. Benches are declared with `harness = false` and
+//! the macros synthesize `main`.
+//!
+//! Results print as one line per benchmark:
+//!
+//! ```text
+//! predictors/nnt_predict  median 1.234 ms  (min 1.200 ms .. max 1.400 ms, 10 samples)
+//! ```
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Maximum time spent warming one benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+/// Maximum time spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver, passed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments.
+    ///
+    /// Any argument that does not start with `-` is treated as a substring
+    /// filter on the full `group/name` benchmark id; flags that the Cargo
+    /// bench runner forwards (`--bench`, `--exact`, …) are ignored, and the
+    /// values of libtest-style value-taking flags (`--color always`, …) are
+    /// not mistaken for filters.
+    pub fn from_args() -> Self {
+        Self::from_arg_list(std::env::args().skip(1))
+    }
+
+    fn from_arg_list(mut args: impl Iterator<Item = String>) -> Self {
+        // libtest flags that consume the following argument.
+        const VALUE_FLAGS: [&str; 6] = [
+            "--color",
+            "--format",
+            "--logfile",
+            "--test-threads",
+            "--skip",
+            "-Z",
+        ];
+        let mut filter = None;
+        while let Some(arg) = args.next() {
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                args.next(); // consume the flag's value
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 50,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+    }
+
+    /// Prints the run/skip totals. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!(
+            "\n{} benchmark(s) run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let id = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.name)
+        };
+        if !self.criterion.matches(&id) {
+            self.criterion.skipped += 1;
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion.ran += 1;
+        bencher.report(&id);
+    }
+
+    /// Runs one parameterized benchmark, Criterion-style.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group. Present for API parity; all reporting is per-bench.
+    pub fn finish(&mut self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`: a short warmup, then up to `sample_size` timed samples
+    /// within the measurement budget.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: at least one call, until the warmup budget is spent.
+        // Fast functions get many rounds; a closure slower than the budget
+        // bails after its first call.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+        }
+
+        let measure_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if measure_start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} (no samples — closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{id:<44} median {:>10}  (min {} .. max {}, {} samples)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+// Make the macros importable alongside the types:
+// `use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};`
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("f", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert!(calls >= 3, "warmup + 3 samples, got {calls}");
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        let mut calls = 0usize;
+        c.bench_function("something", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        assert_eq!(c.skipped, 1);
+    }
+
+    #[test]
+    fn arg_parsing_skips_flags_and_their_values() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // A value-taking flag's value is not a filter.
+        let c = Criterion::from_arg_list(to_args(&["--color", "always", "--bench"]).into_iter());
+        assert_eq!(c.filter, None);
+        // A positional arg is the filter, wherever it sits.
+        let c = Criterion::from_arg_list(to_args(&["--bench", "spearman"]).into_iter());
+        assert_eq!(c.filter.as_deref(), Some("spearman"));
+        // Only the first positional arg wins.
+        let c = Criterion::from_arg_list(to_args(&["a", "b"]).into_iter());
+        assert_eq!(c.filter.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("epochs", 500).to_string(), "epochs/500");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

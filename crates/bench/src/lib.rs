@@ -6,6 +6,8 @@
 //! numerical kernels, `ablation` times the design-choice variants called
 //! out in DESIGN.md.
 
+pub mod harness;
+
 use datatrans_core::task::PredictionTask;
 use datatrans_dataset::database::PerfDatabase;
 use datatrans_dataset::generator::{generate, DatasetConfig};
@@ -25,8 +27,7 @@ pub fn bench_task(db: &PerfDatabase) -> PredictionTask {
         .filter(|m| !targets.contains(m))
         .collect();
     let app = db.benchmark_index("gcc").expect("gcc in suite");
-    PredictionTask::leave_one_out(db, app, &predictive, &targets, 42)
-        .expect("valid bench task")
+    PredictionTask::leave_one_out(db, app, &predictive, &targets, 42).expect("valid bench task")
 }
 
 /// Reduced-budget experiment configuration for bench iterations.

@@ -56,10 +56,7 @@ impl MachineSpace {
             if i == pos {
                 continue;
             }
-            let d = vecops::euclidean_distance(
-                self.coordinates.row(pos),
-                self.coordinates.row(i),
-            )?;
+            let d = vecops::euclidean_distance(self.coordinates.row(pos), self.coordinates.row(i))?;
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((m, d));
             }
@@ -72,9 +69,7 @@ impl MachineSpace {
         self.machines
             .iter()
             .position(|&m| m == machine)
-            .ok_or_else(|| {
-                CoreError::invalid_task(format!("machine {machine} not in projection"))
-            })
+            .ok_or_else(|| CoreError::invalid_task(format!("machine {machine} not in projection")))
     }
 }
 

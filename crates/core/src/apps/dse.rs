@@ -41,7 +41,11 @@ impl DseOutcome {
     /// Deficiency of the predicted-best design versus the true best, in
     /// percent of the chosen design's actual score.
     pub fn top1_deficiency_pct(&self) -> f64 {
-        let best_actual = self.actual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best_actual = self
+            .actual
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let chosen = self.actual[self.best_design()];
         ((best_actual - chosen) / chosen * 100.0).max(0.0)
     }
@@ -170,11 +174,8 @@ mod tests {
     fn explores_and_ranks_designs() {
         let db = generate(&DatasetConfig::default()).unwrap();
         let app = synthesize(WorkloadProfile::Streaming, 5);
-        let designs = sweep_frequency_cache(
-            &base_design(),
-            &[1.6, 2.4, 3.2],
-            &[2048.0, 8192.0, 16384.0],
-        );
+        let designs =
+            sweep_frequency_cache(&base_design(), &[1.6, 2.4, 3.2], &[2048.0, 8192.0, 16384.0]);
         let predictive = vec![10, 40, 70, 100];
         let outcome =
             explore_designs(&db, &app, &designs, &predictive, &MlpT::default(), 2).unwrap();
@@ -206,13 +207,9 @@ mod tests {
         let designs = vec![base_design()];
         assert!(explore_designs(&db, &app, &[], &[0], &MlpT::default(), 1).is_err());
         assert!(explore_designs(&db, &app, &designs, &[], &MlpT::default(), 1).is_err());
-        assert!(
-            explore_designs(&db, &app, &designs, &[9999], &MlpT::default(), 1).is_err()
-        );
+        assert!(explore_designs(&db, &app, &designs, &[9999], &MlpT::default(), 1).is_err());
         let mut bad = base_design();
         bad.freq_ghz = 50.0;
-        assert!(
-            explore_designs(&db, &app, &[bad], &[0], &MlpT::default(), 1).is_err()
-        );
+        assert!(explore_designs(&db, &app, &[bad], &[0], &MlpT::default(), 1).is_err());
     }
 }

@@ -128,7 +128,12 @@ mod tests {
     use datatrans_dataset::generator::{generate, DatasetConfig};
     use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
 
-    fn setup() -> (PerfDatabase, WorkloadCharacteristics, Vec<usize>, Vec<usize>) {
+    fn setup() -> (
+        PerfDatabase,
+        WorkloadCharacteristics,
+        Vec<usize>,
+        Vec<usize>,
+    ) {
         let db = generate(&DatasetConfig::default()).unwrap();
         let app = synthesize(WorkloadProfile::Scientific, 11);
         let candidates: Vec<usize> = (60..117).collect();
@@ -142,8 +147,7 @@ mod tests {
     #[test]
     fn recommendations_sorted_descending() {
         let (db, app, predictive, candidates) = setup();
-        let report =
-            recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 3).unwrap();
+        let report = recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 3).unwrap();
         for w in report.recommendations.windows(2) {
             assert!(w[0].predicted_score >= w[1].predicted_score);
         }
@@ -154,8 +158,7 @@ mod tests {
     #[test]
     fn mlpt_recommendation_close_to_oracle() {
         let (db, app, predictive, candidates) = setup();
-        let report =
-            recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 3).unwrap();
+        let report = recommend(&db, &app, &predictive, &candidates, &MlpT::default(), 3).unwrap();
         let deficiency = oracle_deficiency_pct(&db, &app, &candidates, &report);
         assert!(
             deficiency < 30.0,
@@ -166,8 +169,7 @@ mod tests {
     #[test]
     fn nnt_also_produces_valid_report() {
         let (db, app, predictive, candidates) = setup();
-        let report =
-            recommend(&db, &app, &predictive, &candidates, &NnT::default(), 3).unwrap();
+        let report = recommend(&db, &app, &predictive, &candidates, &NnT::default(), 3).unwrap();
         assert_eq!(report.recommendations.len(), candidates.len());
         let labels: std::collections::BTreeSet<&str> = report
             .recommendations

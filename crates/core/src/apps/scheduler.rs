@@ -59,8 +59,7 @@ pub fn schedule_jobs(
     // Predicted score of each job on each node.
     let mut predicted = Vec::with_capacity(jobs.len());
     for (ji, job) in jobs.iter().enumerate() {
-        let task =
-            PredictionTask::external_app(db, job, predictive, nodes, seed ^ (ji as u64))?;
+        let task = PredictionTask::external_app(db, job, predictive, nodes, seed ^ (ji as u64))?;
         predicted.push(method.predict(&task)?);
     }
     let assignments = list_schedule(jobs, nodes, |ji, ni| {
@@ -115,8 +114,7 @@ pub fn schedule_min_min(
     }
     let mut predicted = Vec::with_capacity(jobs.len());
     for (ji, job) in jobs.iter().enumerate() {
-        let task =
-            PredictionTask::external_app(db, job, predictive, nodes, seed ^ (ji as u64))?;
+        let task = PredictionTask::external_app(db, job, predictive, nodes, seed ^ (ji as u64))?;
         predicted.push(method.predict(&task)?);
     }
     let time = |ji: usize, ni: usize| jobs[ji].instr_e9 / predicted[ji][ni].max(1e-9);
@@ -128,8 +126,8 @@ pub fn schedule_min_min(
         // The (job, node) pair with the globally minimal completion time.
         let mut best: Option<(usize, usize, f64)> = None;
         for (ui, &ji) in unassigned.iter().enumerate() {
-            for ni in 0..nodes.len() {
-                let finish = node_load[ni] + time(ji, ni);
+            for (ni, &load) in node_load.iter().enumerate() {
+                let finish = load + time(ji, ni);
                 if best.is_none_or(|(_, _, f)| finish < f) {
                     best = Some((ui, ni, finish));
                 }
@@ -200,8 +198,8 @@ fn list_schedule(
         // Place on the node with the earliest finish time for this job.
         let mut best_node = 0;
         let mut best_finish = f64::INFINITY;
-        for ni in 0..nodes.len() {
-            let finish = node_load[ni] + time_fn(ji, ni);
+        for (ni, &load) in node_load.iter().enumerate() {
+            let finish = load + time_fn(ji, ni);
             if finish < best_finish {
                 best_finish = finish;
                 best_node = ni;
@@ -240,7 +238,12 @@ mod tests {
     use datatrans_dataset::generator::{generate, DatasetConfig};
     use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
 
-    fn setup() -> (PerfDatabase, Vec<WorkloadCharacteristics>, Vec<usize>, Vec<usize>) {
+    fn setup() -> (
+        PerfDatabase,
+        Vec<WorkloadCharacteristics>,
+        Vec<usize>,
+        Vec<usize>,
+    ) {
         let db = generate(&DatasetConfig::default()).unwrap();
         let jobs: Vec<WorkloadCharacteristics> = WorkloadProfile::ALL
             .iter()
@@ -249,7 +252,9 @@ mod tests {
         // Heterogeneous cluster spanning five machine generations.
         let nodes = vec![108, 63, 72, 75, 27];
         // Predictive machines via k-medoids over everything else (§6.5).
-        let pool: Vec<usize> = (0..db.n_machines()).filter(|m| !nodes.contains(m)).collect();
+        let pool: Vec<usize> = (0..db.n_machines())
+            .filter(|m| !nodes.contains(m))
+            .collect();
         let predictive = crate::select::select_k_medoids(&db, &pool, 5, 7).unwrap();
         (db, jobs, predictive, nodes)
     }

@@ -107,17 +107,16 @@ pub fn family_cross_validation(
 
     let mut report = CvReport::default();
     if config.parallel {
-        let results: Vec<Result<Vec<CvCell>>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Result<Vec<CvCell>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = families
                 .iter()
-                .map(|&family| scope.spawn(move |_| run_fold(family)))
+                .map(|&family| scope.spawn(move || run_fold(family)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("fold worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
         for r in results {
             report.cells.extend(r?);
         }

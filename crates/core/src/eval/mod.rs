@@ -15,13 +15,11 @@ pub mod fit;
 pub mod subset;
 pub mod temporal;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ranking::{EvalMetrics, MetricAggregate};
 use crate::{CoreError, Result};
 
 /// One evaluation cell: a (fold, application, method) triple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvCell {
     /// Fold label, e.g. `"Intel Xeon"` or `"2008"` or `"size-5/trial-3"`.
     pub fold: String,
@@ -34,7 +32,7 @@ pub struct CvCell {
 }
 
 /// A set of evaluation cells with aggregation helpers.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CvReport {
     /// All evaluation cells produced by a harness.
     pub cells: Vec<CvCell>,
@@ -162,7 +160,8 @@ impl CvReport {
 
     /// Exports all cells as CSV (one row per cell) for external plotting.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("fold,app,method,rank_correlation,top1_error_pct,mean_error_pct\n");
+        let mut out =
+            String::from("fold,app,method,rank_correlation,top1_error_pct,mean_error_pct\n");
         for c in &self.cells {
             out.push_str(&format!(
                 "{},{},{},{:.6},{:.6},{:.6}\n",

@@ -17,10 +17,10 @@
 //! unrelated benchmarks (over 100% top-1 error on `libquantum`-class
 //! workloads).
 
-use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
-use datatrans_ml::knn::{combine_targets, Neighbor, NeighborWeighting};
-use datatrans_ml::scale::StandardScaler;
 use datatrans_linalg::Matrix;
+use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
+use datatrans_ml::knn::{combine_targets_with, Neighbor, NeighborWeighting};
+use datatrans_ml::scale::StandardScaler;
 
 use crate::model::Predictor;
 use crate::task::PredictionTask;
@@ -110,12 +110,17 @@ impl GaKnn {
         let weights = result.best_genome;
 
         // Final prediction: the app's k nearest benchmarks under the
-        // learned weights, combined per target machine.
+        // learned weights, combined per target machine straight from a
+        // column view of the score matrix.
         let neighbors = nearest_benchmarks(&train_chars, &app_chars, &weights, k);
         let mut predictions = Vec::with_capacity(task.n_targets());
         for t in 0..task.n_targets() {
-            let targets: Vec<f64> = (0..b).map(|i| task.train_target[(i, t)]).collect();
-            predictions.push(combine_targets(&neighbors, &targets, self.config.weighting));
+            let scores = task.train_target.col_view(t);
+            predictions.push(combine_targets_with(
+                &neighbors,
+                |i| scores.at(i),
+                self.config.weighting,
+            ));
         }
         Ok((predictions, weights))
     }
@@ -131,18 +136,21 @@ impl Predictor for GaKnn {
     }
 }
 
-/// `sq_diffs[i][j]` is the per-dimension squared difference vector between
-/// benchmarks `i` and `j` in standardized characteristic space.
-fn pairwise_sq_diffs(chars: &Matrix) -> Vec<Vec<Vec<f64>>> {
+/// Per-dimension squared differences between benchmark pairs, stored as one
+/// flat `(b·b) × d` matrix: row `i·b + j` is the difference vector between
+/// benchmarks `i` and `j` in standardized characteristic space. One
+/// contiguous allocation replaces the former `Vec<Vec<Vec<f64>>>` (b² + b +
+/// 1 allocations, pointer-chasing on every GA fitness evaluation).
+fn pairwise_sq_diffs(chars: &Matrix) -> Matrix {
     let (b, d) = chars.shape();
-    let mut out = vec![vec![vec![0.0; d]; b]; b];
+    let mut out = Matrix::zeros(b * b, d);
     for i in 0..b {
         for j in (i + 1)..b {
             for dim in 0..d {
                 let diff = chars[(i, dim)] - chars[(j, dim)];
                 let sq = diff * diff;
-                out[i][j][dim] = sq;
-                out[j][i][dim] = sq;
+                out[(i * b + j, dim)] = sq;
+                out[(j * b + i, dim)] = sq;
             }
         }
     }
@@ -186,7 +194,8 @@ fn nearest_benchmarks(
 
 /// Shared state for GA fitness evaluation.
 struct FitnessContext<'a> {
-    sq_diffs: &'a [Vec<Vec<f64>>],
+    /// Flat `(b·b) × d` pairwise squared-difference matrix.
+    sq_diffs: &'a Matrix,
     scores: &'a Matrix,
     k: usize,
     weighting: NeighborWeighting,
@@ -200,15 +209,15 @@ impl FitnessContext<'_> {
         let t = self.scores.cols();
         let mut total = 0.0;
         let mut count = 0usize;
+        let mut neighbors: Vec<Neighbor> = Vec::with_capacity(b);
         for held in 0..b {
-            // Neighbours among the other benchmarks.
-            let mut neighbors: Vec<Neighbor> = (0..b)
-                .filter(|&i| i != held)
-                .map(|i| Neighbor {
-                    index: i,
-                    distance: weighted_distance(&self.sq_diffs[held][i], weights),
-                })
-                .collect();
+            // Neighbours among the other benchmarks; distances read the
+            // contiguous rows of the flat pairwise matrix.
+            neighbors.clear();
+            neighbors.extend((0..b).filter(|&i| i != held).map(|i| Neighbor {
+                index: i,
+                distance: weighted_distance(self.sq_diffs.row(held * b + i), weights),
+            }));
             neighbors.sort_by(|a, b| {
                 a.distance
                     .partial_cmp(&b.distance)
@@ -218,9 +227,9 @@ impl FitnessContext<'_> {
             neighbors.truncate(self.k.min(neighbors.len()));
 
             for tj in 0..t {
-                let targets: Vec<f64> = (0..b).map(|i| self.scores[(i, tj)]).collect();
-                let pred = combine_targets(&neighbors, &targets, self.weighting);
-                let actual = self.scores[(held, tj)];
+                let scores = self.scores.col_view(tj);
+                let pred = combine_targets_with(&neighbors, |i| scores.at(i), self.weighting);
+                let actual = scores.at(held);
                 if actual > 0.0 {
                     total += (pred - actual).abs() / actual;
                     count += 1;
@@ -251,12 +260,8 @@ mod tests {
         // encodes the type, dim 1 is noise.
         let type_of = |i: usize| (i % 3) as f64; // three behaviour groups
         let scale_of = |i: usize| 10.0 + 15.0 * type_of(i);
-        let train_target = Matrix::from_fn(b, t, |i, tj| {
-            scale_of(i) * (1.0 + 0.3 * tj as f64)
-        });
-        let train_predictive = Matrix::from_fn(b, p, |i, pj| {
-            scale_of(i) * (0.8 + 0.2 * pj as f64)
-        });
+        let train_target = Matrix::from_fn(b, t, |i, tj| scale_of(i) * (1.0 + 0.3 * tj as f64));
+        let train_predictive = Matrix::from_fn(b, p, |i, pj| scale_of(i) * (0.8 + 0.2 * pj as f64));
         let train_characteristics = Matrix::from_fn(b, 2, |i, d| {
             if d == 0 {
                 type_of(i)
@@ -298,7 +303,10 @@ mod tests {
         for (tj, p) in pred.iter().enumerate() {
             let expected = 25.0 * (1.0 + 0.3 * tj as f64);
             let rel = (p - expected).abs() / expected;
-            assert!(rel < 0.35, "target {tj}: predicted {p:.1}, expected {expected:.1}");
+            assert!(
+                rel < 0.35,
+                "target {tj}: predicted {p:.1}, expected {expected:.1}"
+            );
         }
     }
 

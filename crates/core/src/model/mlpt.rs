@@ -11,8 +11,8 @@
 //! benchmark scores, the label is the app's score on it. Prediction applies
 //! the network to each target machine's published benchmark scores.
 
-use datatrans_linalg::Matrix;
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
+use datatrans_ml::scale::MinMaxScaler;
 
 use crate::model::Predictor;
 use crate::task::PredictionTask;
@@ -20,6 +20,15 @@ use crate::Result;
 
 /// The MLPᵀ predictor (WEKA-default multilayer perceptron, as in the
 /// paper).
+///
+/// Deliberate deviation from WEKA: the input scaler is fitted
+/// *transductively* over the predictive and target machines' benchmark
+/// scores (all published data; labels still come only from the predictive
+/// machines). WEKA's fit-on-train scaling saturates the sigmoid layer for
+/// small predictive sets and collapses every prediction to one constant.
+/// Consequence: a machine's predicted score depends (weakly, through the
+/// per-feature scaling range) on which other machines are in the task's
+/// target set — predictions are per-task, not per-machine.
 #[derive(Debug, Clone)]
 pub struct MlpT {
     /// Neural-network hyper-parameters. The seed inside is combined with
@@ -58,15 +67,24 @@ impl Predictor for MlpT {
         let inv = |v: f64| if self.log_domain { v.exp() } else { v };
 
         // Training rows = predictive machines (transpose the benchmark-major
-        // matrix — this is the "transposition" in data transposition).
-        let x = Matrix::from_fn(task.n_predictive(), task.n_benchmarks(), |m, b| {
-            tf(task.train_predictive[(b, m)])
-        });
+        // matrix — this is the "transposition" in data transposition). The
+        // transposes are zero-copy stride swaps; only the domain transform
+        // materializes, once per matrix.
+        let x = task.train_predictive.transpose_view().map(tf);
         let y: Vec<f64> = task.app_predictive.iter().map(|&v| tf(v)).collect();
+        // Target machines' benchmark scores, machine-major: the prediction
+        // feature rows.
+        let target_features = task.train_target.transpose_view().map(tf);
 
         let mut config = self.config.clone();
-        config.seed = config.seed ^ task.seed;
-        let model = MlpRegressor::fit(&x, &y, &config)?;
+        config.seed ^= task.seed;
+        // Transductive input scaling: the per-feature range covers the
+        // predictive AND target machines (all published scores, no labels).
+        // Scaling on the k training rows alone saturates the sigmoid layer
+        // for small k — every target row then collapses to one constant
+        // prediction.
+        let input_scaler = MinMaxScaler::fit_many(&[&x, &target_features], -1.0, 1.0)?;
+        let model = MlpRegressor::fit_with_input_scaler(&x, &y, input_scaler, &config)?;
 
         // Fallback for a diverged network (possible with very small
         // predictive sets): the mean transformed app score, i.e. the
@@ -83,12 +101,9 @@ impl Predictor for MlpT {
             .max(1.0);
 
         let mut out = Vec::with_capacity(task.n_targets());
-        let mut features = vec![0.0; task.n_benchmarks()];
+        let mut scratch = model.scratch();
         for t in 0..task.n_targets() {
-            for b in 0..task.n_benchmarks() {
-                features[b] = tf(task.train_target[(b, t)]);
-            }
-            let raw = model.predict(&features)?;
+            let raw = model.predict_with_scratch(target_features.row(t), &mut scratch)?;
             let raw = if raw.is_finite() { raw } else { fallback };
             let raw = raw.clamp(fallback - 3.0 * spread, fallback + 3.0 * spread);
             out.push(inv(raw).max(1e-6));
@@ -100,6 +115,7 @@ impl Predictor for MlpT {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use datatrans_linalg::Matrix;
 
     /// Synthetic task: app score is a fixed non-linear function of two
     /// benchmark scores; machines vary in "speed".
@@ -119,8 +135,9 @@ mod tests {
         let train_target = Matrix::from_fn(b, n_targets, |bench, m| {
             bench_score(bench, machine_speed(n_predictive + m))
         });
-        let app_predictive: Vec<f64> =
-            (0..n_predictive).map(|m| app_score(machine_speed(m))).collect();
+        let app_predictive: Vec<f64> = (0..n_predictive)
+            .map(|m| app_score(machine_speed(m)))
+            .collect();
         let actual_target: Vec<f64> = (0..n_targets)
             .map(|m| app_score(machine_speed(n_predictive + m)))
             .collect();

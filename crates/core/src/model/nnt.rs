@@ -49,10 +49,7 @@ impl NnT {
     /// # Errors
     ///
     /// Same conditions as [`Predictor::predict`].
-    pub fn predict_with_neighbors(
-        &self,
-        task: &PredictionTask,
-    ) -> Result<Vec<(f64, usize)>> {
+    pub fn predict_with_neighbors(&self, task: &PredictionTask) -> Result<Vec<(f64, usize)>> {
         task.validate()?;
         let b = task.n_benchmarks();
         let p = task.n_predictive();
@@ -66,18 +63,27 @@ impl NnT {
         let tf = |v: f64| if self.log_domain { v.ln() } else { v };
         let inv = |v: f64| if self.log_domain { v.exp() } else { v };
 
-        // Pre-extract predictive columns (x vectors are reused across targets).
-        let pred_cols: Vec<Vec<f64>> = (0..p)
-            .map(|j| (0..b).map(|i| tf(task.train_predictive[(i, j)])).collect())
-            .collect();
+        // The regressions consume strided column views of the score
+        // matrices directly — no per-column buffer is materialized. In log
+        // domain the transform is applied once into owned matrices so the
+        // p × t regression sweep does not recompute `ln` per pair.
+        let (pred_owned, targ_owned);
+        let (pred_scores, targ_scores) = if self.log_domain {
+            pred_owned = task.train_predictive.view().map(tf);
+            targ_owned = task.train_target.view().map(tf);
+            (pred_owned.view(), targ_owned.view())
+        } else {
+            (task.train_predictive.view(), task.train_target.view())
+        };
         let app_pred: Vec<f64> = task.app_predictive.iter().map(|&v| tf(v)).collect();
 
         let mut out = Vec::with_capacity(t);
         for tj in 0..t {
-            let y: Vec<f64> = (0..b).map(|i| tf(task.train_target[(i, tj)])).collect();
+            let y = targ_scores.col_view(tj);
             let mut best: Option<(f64, usize, SimpleLinearRegression)> = None;
-            for (pj, x) in pred_cols.iter().enumerate() {
-                let Ok(fit) = SimpleLinearRegression::fit(x, &y) else {
+            for pj in 0..p {
+                let x = pred_scores.col_view(pj);
+                let Ok(fit) = SimpleLinearRegression::fit_pairs(x.iter().zip(y.iter())) else {
                     continue; // constant predictive column — skip
                 };
                 let quality = match self.criterion {

@@ -3,12 +3,11 @@
 use datatrans_stats::correlation::spearman;
 use datatrans_stats::error_metrics::{mean_relative_error_pct, top1_error_pct, topn_error_pct};
 use datatrans_stats::rank::argsort_descending;
-use serde::{Deserialize, Serialize};
 
 use crate::Result;
 
 /// A ranking of target machines induced by (predicted or measured) scores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ranking {
     /// Machine positions, best first (indices into the score vector).
     order: Vec<usize>,
@@ -62,7 +61,7 @@ impl Ranking {
 
 /// The paper's three accuracy metrics for one (method, application, split)
 /// evaluation cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalMetrics {
     /// Spearman rank correlation between predicted and actual ranking.
     pub rank_correlation: f64,
@@ -111,7 +110,7 @@ impl EvalMetrics {
 
 /// Aggregate of many evaluation cells: the paper reports "average numbers
 /// [...] as well as worst-case results".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricAggregate {
     /// Mean rank correlation across cells.
     pub mean_rank_correlation: f64,

@@ -11,9 +11,9 @@ use datatrans_dataset::database::PerfDatabase;
 use datatrans_linalg::Matrix;
 use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
 use datatrans_ml::scale::StandardScaler;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::seq::SliceRandom;
+use datatrans_rng::SeedableRng;
 
 use crate::{CoreError, Result};
 
@@ -124,10 +124,8 @@ mod tests {
         let db = db();
         let pool: Vec<usize> = (0..db.n_machines()).collect();
         let chosen = select_k_medoids(&db, &pool, 4, 11).unwrap();
-        let families: std::collections::BTreeSet<_> = chosen
-            .iter()
-            .map(|&m| db.machines()[m].family)
-            .collect();
+        let families: std::collections::BTreeSet<_> =
+            chosen.iter().map(|&m| db.machines()[m].family).collect();
         assert!(families.len() >= 3, "families: {families:?}");
     }
 

@@ -12,9 +12,9 @@
 //! training benchmarks and of the application, which only the GA-kNN
 //! baseline consumes (data transposition itself needs no profiling).
 
+use datatrans_dataset::characteristics::WorkloadCharacteristics;
 use datatrans_dataset::database::PerfDatabase;
 use datatrans_dataset::perf_model::spec_ratio;
-use datatrans_dataset::characteristics::WorkloadCharacteristics;
 use datatrans_linalg::Matrix;
 
 use crate::{CoreError, Result};
@@ -137,13 +137,11 @@ impl PredictionTask {
         }
         validate_machine_split(db, predictive, targets)?;
 
-        let train_benchmarks: Vec<usize> =
-            (0..db.n_benchmarks()).filter(|&b| b != app).collect();
+        let train_benchmarks: Vec<usize> = (0..db.n_benchmarks()).filter(|&b| b != app).collect();
 
         let train_predictive = score_submatrix(db, &train_benchmarks, predictive);
         let train_target = score_submatrix(db, &train_benchmarks, targets);
-        let app_predictive: Vec<f64> =
-            predictive.iter().map(|&m| db.score(app, m)).collect();
+        let app_predictive: Vec<f64> = predictive.iter().map(|&m| db.score(app, m)).collect();
 
         let train_characteristics = characteristics_matrix(db, &train_benchmarks);
         let app_characteristics = db.benchmarks()[app].characteristics.to_mica_vector();
@@ -236,10 +234,16 @@ fn validate_machine_split(
     Ok(())
 }
 
+/// Gathers the `benchmarks × machines` submatrix in one pass over the
+/// database's score matrix.
+///
+/// The predictive/target machine sets are arbitrary index subsets, so this
+/// gather is the one unavoidable copy of task construction (a strided view
+/// cannot express a scattered column subset). Everything downstream — the
+/// NNᵀ/MLPᵀ/GA-kNN predict paths — reads the gathered matrices through
+/// zero-copy views.
 fn score_submatrix(db: &PerfDatabase, benchmarks: &[usize], machines: &[usize]) -> Matrix {
-    Matrix::from_fn(benchmarks.len(), machines.len(), |i, j| {
-        db.score(benchmarks[i], machines[j])
-    })
+    db.score_matrix().select(benchmarks, machines)
 }
 
 fn characteristics_matrix(db: &PerfDatabase, benchmarks: &[usize]) -> Matrix {
@@ -291,8 +295,7 @@ mod tests {
         let db = db();
         let (predictive, targets) = family_split(&db);
         let app = db.benchmark_index("libquantum").unwrap();
-        let task =
-            PredictionTask::leave_one_out(&db, app, &predictive, &targets, 1).unwrap();
+        let task = PredictionTask::leave_one_out(&db, app, &predictive, &targets, 1).unwrap();
         // The app's own scores must not appear in the training matrices:
         // row `app` was removed, so training row for what used to be after
         // the app shifts up. Check matrix row count only (content checked

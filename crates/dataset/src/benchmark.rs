@@ -13,12 +13,10 @@
 //! * `mcf`, `omnetpp`, `xalancbmk` — pointer-chasing, latency-bound;
 //! * the remainder fills the ordinary int/fp spectrum.
 
-use serde::{Deserialize, Serialize};
-
 use crate::characteristics::WorkloadCharacteristics;
 
 /// SPEC CPU2006 sub-suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// CINT2006 — integer benchmarks.
     Int,
@@ -36,7 +34,7 @@ impl std::fmt::Display for Suite {
 }
 
 /// One benchmark: identity plus its latent workload profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Benchmark {
     /// SPEC benchmark name, e.g. `"libquantum"`.
     pub name: String,
@@ -92,6 +90,7 @@ fn bench(
 ///
 /// The ordering is the paper's Figure 6/7 ordering (alphabetical, int and fp
 /// interleaved).
+#[rustfmt::skip] // keep the one-row-per-entry data table aligned
 pub fn spec_cpu2006() -> Vec<Benchmark> {
     use Suite::{Fp, Int};
     vec![
@@ -130,7 +129,14 @@ pub fn spec_cpu2006() -> Vec<Benchmark> {
 
 /// Names of the benchmarks the paper singles out as outliers.
 pub fn outlier_benchmarks() -> &'static [&'static str] {
-    &["libquantum", "cactusADM", "leslie3d", "lbm", "namd", "hmmer"]
+    &[
+        "libquantum",
+        "cactusADM",
+        "leslie3d",
+        "lbm",
+        "namd",
+        "hmmer",
+    ]
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 //! cache configuration, memory speed) — the way real SPEC submissions of
 //! the same CPU differ across system vendors.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
 
 use crate::machine::{Machine, ProcessorFamily};
 use crate::microarch::MicroArch;
@@ -81,6 +81,7 @@ fn spec(
 /// Values are realistic for each design's era: frequency, issue width,
 /// cache hierarchy, memory latency/bandwidth, branch machinery, FPU
 /// strength, prefetching, and memory-level-parallelism capability.
+#[rustfmt::skip] // keep the one-row-per-entry data table aligned
 pub fn nickname_specs() -> Vec<NicknameSpec> {
     use ProcessorFamily as F;
     vec![
@@ -279,6 +280,9 @@ mod tests {
         let n2009 = machines.iter().filter(|m| m.year == 2009).count();
         let n2008 = machines.iter().filter(|m| m.year == 2008).count();
         assert!(n2009 >= 12, "need enough 2009 targets, got {n2009}");
-        assert!(n2008 >= 12, "need enough 2008 predictive machines, got {n2008}");
+        assert!(
+            n2008 >= 12,
+            "need enough 2008 predictive machines, got {n2008}"
+        );
     }
 }

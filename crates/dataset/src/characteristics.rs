@@ -6,13 +6,11 @@
 //! model, so the causal link GA-kNN must learn (characteristics →
 //! performance) is preserved by construction.
 
-use serde::{Deserialize, Serialize};
-
 /// The latent demand vector of one workload.
 ///
 /// All fractions are in `[0, 1]`; working sets are in MiB; the dynamic
 /// instruction count is in units of 10⁹ instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadCharacteristics {
     /// Dynamic instruction count, ×10⁹.
     pub instr_e9: f64,

@@ -1,7 +1,7 @@
 //! The assembled performance database: benchmarks × machines score matrix
 //! plus metadata, the synthetic stand-in for the SPEC results archive.
 
-use serde::{Deserialize, Serialize};
+use datatrans_linalg::{Matrix, VecView};
 
 use crate::benchmark::Benchmark;
 use crate::machine::{Machine, ProcessorFamily};
@@ -9,19 +9,22 @@ use crate::{DatasetError, Result};
 
 /// A complete performance database.
 ///
-/// Scores are SPEC-style speed ratios (higher is better), stored row-major
-/// with **rows = benchmarks** and **columns = machines**, matching the
-/// paper's Figure 2 orientation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Scores are SPEC-style speed ratios (higher is better), stored as a dense
+/// [`Matrix`] with **rows = benchmarks** and **columns = machines**,
+/// matching the paper's Figure 2 orientation. Accessors expose the matrix
+/// and zero-copy row/column views so consumers can read either
+/// benchmark-major or machine-major without materializing copies.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfDatabase {
     benchmarks: Vec<Benchmark>,
     machines: Vec<Machine>,
-    /// Row-major scores: `scores[b * machines.len() + m]`.
-    scores: Vec<f64>,
+    /// `benchmarks × machines` score matrix.
+    scores: Matrix,
 }
 
 impl PerfDatabase {
-    /// Assembles a database from parts.
+    /// Assembles a database from parts (`scores` row-major,
+    /// `scores[b * machines.len() + m]`).
     ///
     /// # Errors
     ///
@@ -33,23 +36,22 @@ impl PerfDatabase {
         machines: Vec<Machine>,
         scores: Vec<f64>,
     ) -> Result<Self> {
-        if scores.len() != benchmarks.len() * machines.len() {
-            return Err(DatasetError::InvalidConfig {
-                name: "scores length",
-                value: format!(
-                    "{} (expected {} benchmarks × {} machines)",
-                    scores.len(),
-                    benchmarks.len(),
-                    machines.len()
-                ),
-            });
-        }
         if scores.iter().any(|s| !s.is_finite() || *s <= 0.0) {
             return Err(DatasetError::InvalidConfig {
                 name: "scores",
                 value: "must be finite and positive".into(),
             });
         }
+        let scores = Matrix::from_vec(benchmarks.len(), machines.len(), scores).map_err(|_| {
+            DatasetError::InvalidConfig {
+                name: "scores length",
+                value: format!(
+                    "expected {} benchmarks × {} machines",
+                    benchmarks.len(),
+                    machines.len()
+                ),
+            }
+        })?;
         Ok(PerfDatabase {
             benchmarks,
             machines,
@@ -77,6 +79,11 @@ impl PerfDatabase {
         &self.machines
     }
 
+    /// The full `benchmarks × machines` score matrix.
+    pub fn score_matrix(&self) -> &Matrix {
+        &self.scores
+    }
+
     /// Score of benchmark `b` on machine `m`.
     ///
     /// # Panics
@@ -85,27 +92,29 @@ impl PerfDatabase {
     pub fn score(&self, b: usize, m: usize) -> f64 {
         assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
         assert!(m < self.machines.len(), "machine index out of bounds");
-        self.scores[b * self.machines.len() + m]
+        self.scores[(b, m)]
     }
 
-    /// All scores of one benchmark across machines (one matrix row).
+    /// All scores of one benchmark across machines (one matrix row),
+    /// borrowed.
     ///
     /// # Panics
     ///
     /// Panics if `b` is out of bounds.
     pub fn benchmark_row(&self, b: usize) -> &[f64] {
         assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
-        &self.scores[b * self.machines.len()..(b + 1) * self.machines.len()]
+        self.scores.row(b)
     }
 
-    /// All scores of one machine across benchmarks (one matrix column).
+    /// All scores of one machine across benchmarks (one matrix column), as
+    /// a zero-copy strided view.
     ///
     /// # Panics
     ///
     /// Panics if `m` is out of bounds.
-    pub fn machine_column(&self, m: usize) -> Vec<f64> {
+    pub fn machine_column(&self, m: usize) -> VecView<'_> {
         assert!(m < self.machines.len(), "machine index out of bounds");
-        (0..self.benchmarks.len()).map(|b| self.score(b, m)).collect()
+        self.scores.col_view(m)
     }
 
     /// Looks up a benchmark index by name.
@@ -196,6 +205,16 @@ mod tests {
         let db = db();
         assert_eq!(db.benchmark_row(3)[5], db.score(3, 5));
         assert_eq!(db.machine_column(5)[3], db.score(3, 5));
+    }
+
+    #[test]
+    fn score_matrix_and_views_agree() {
+        let db = db();
+        let m = db.score_matrix();
+        assert_eq!(m.shape(), (29, 117));
+        assert_eq!(m[(3, 5)], db.score(3, 5));
+        assert_eq!(db.machine_column(5).to_vec(), m.col(5));
+        assert_eq!(db.benchmark_row(3), m.row(3));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Deterministic assembly of the full performance database.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
 
 use crate::benchmark::spec_cpu2006;
 use crate::catalog::build_machines;
@@ -106,14 +106,26 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&DatasetConfig { seed: 1, noise_sigma: 0.015 }).unwrap();
-        let b = generate(&DatasetConfig { seed: 2, noise_sigma: 0.015 }).unwrap();
+        let a = generate(&DatasetConfig {
+            seed: 1,
+            noise_sigma: 0.015,
+        })
+        .unwrap();
+        let b = generate(&DatasetConfig {
+            seed: 2,
+            noise_sigma: 0.015,
+        })
+        .unwrap();
         assert_ne!(a, b);
     }
 
     #[test]
     fn zero_noise_matches_model_exactly() {
-        let db = generate(&DatasetConfig { seed: 5, noise_sigma: 0.0 }).unwrap();
+        let db = generate(&DatasetConfig {
+            seed: 5,
+            noise_sigma: 0.0,
+        })
+        .unwrap();
         let b = &db.benchmarks()[0];
         let m = &db.machines()[0];
         let expected = spec_ratio(&m.micro, &b.characteristics);
@@ -122,8 +134,16 @@ mod tests {
 
     #[test]
     fn noise_is_small_relative_perturbation() {
-        let clean = generate(&DatasetConfig { seed: 5, noise_sigma: 0.0 }).unwrap();
-        let noisy = generate(&DatasetConfig { seed: 5, noise_sigma: 0.015 }).unwrap();
+        let clean = generate(&DatasetConfig {
+            seed: 5,
+            noise_sigma: 0.0,
+        })
+        .unwrap();
+        let noisy = generate(&DatasetConfig {
+            seed: 5,
+            noise_sigma: 0.015,
+        })
+        .unwrap();
         for b in 0..clean.n_benchmarks() {
             for m in 0..clean.n_machines() {
                 let rel = (noisy.score(b, m) / clean.score(b, m)).ln().abs();
@@ -134,9 +154,21 @@ mod tests {
 
     #[test]
     fn validates_config() {
-        assert!(generate(&DatasetConfig { seed: 1, noise_sigma: -0.1 }).is_err());
-        assert!(generate(&DatasetConfig { seed: 1, noise_sigma: 0.9 }).is_err());
-        assert!(generate(&DatasetConfig { seed: 1, noise_sigma: f64::NAN }).is_err());
+        assert!(generate(&DatasetConfig {
+            seed: 1,
+            noise_sigma: -0.1
+        })
+        .is_err());
+        assert!(generate(&DatasetConfig {
+            seed: 1,
+            noise_sigma: 0.9
+        })
+        .is_err());
+        assert!(generate(&DatasetConfig {
+            seed: 1,
+            noise_sigma: f64::NAN
+        })
+        .is_err());
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Machine identity: vendor, processor family, CPU nickname, release year.
 
-use serde::{Deserialize, Serialize};
-
 use crate::microarch::MicroArch;
 
 /// Hardware vendor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Vendor {
     /// Advanced Micro Devices.
     Amd,
@@ -29,7 +27,7 @@ impl std::fmt::Display for Vendor {
 }
 
 /// The 17 processor families of the paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProcessorFamily {
     /// AMD Opteron (K10).
     OpteronK10,
@@ -138,7 +136,7 @@ impl std::fmt::Display for ProcessorFamily {
 }
 
 /// One commercial machine in the performance database.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// Unique display name, e.g. `"Gainestown #2"`.
     pub name: String,

@@ -5,10 +5,8 @@
 //! realistic for the era (frequency, cache sizes, memory latency and
 //! bandwidth) but are *model parameters*, not measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Latent microarchitecture parameter vector of one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicroArch {
     /// Core clock frequency in GHz.
     pub freq_ghz: f64,

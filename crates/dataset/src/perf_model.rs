@@ -108,8 +108,7 @@ pub fn cpi_stack(m: &MicroArch, w: &WorkloadCharacteristics) -> CpiStack {
         + mr_l3 * mem_cycles / effective_mlp;
 
     let memory = w.mem_fraction
-        * (reuse * CAPACITY_TRAFFIC * reuse_hierarchy_cycles
-            + w.stream_fraction * stream_cycles);
+        * (reuse * CAPACITY_TRAFFIC * reuse_hierarchy_cycles + w.stream_fraction * stream_cycles);
 
     CpiStack {
         core,
@@ -168,7 +167,14 @@ mod tests {
     #[test]
     #[ignore = "diagnostic output, not an assertion"]
     fn dump_outlier_rankings() {
-        for name in ["namd", "hmmer", "libquantum", "cactusADM", "gamess", "perlbench"] {
+        for name in [
+            "namd",
+            "hmmer",
+            "libquantum",
+            "cactusADM",
+            "gamess",
+            "perlbench",
+        ] {
             let w = workload(name);
             let mut rows: Vec<(String, f64)> = nickname_specs()
                 .into_iter()

@@ -7,8 +7,8 @@
 //! and application-layer tests can exercise the full pipeline, including an
 //! oracle (the performance model itself) to grade predictions against.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
 
 use crate::characteristics::WorkloadCharacteristics;
 

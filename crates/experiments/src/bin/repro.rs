@@ -116,7 +116,7 @@ fn diagnose(config: &ExperimentConfig) -> Result<(), datatrans_core::CoreError> 
         "fold", "app", "method", "rank", "top1%", "mean%"
     );
     let mut cells = report.cells.clone();
-    cells.sort_by(|a, b| (a.fold.clone(), a.app.clone()).cmp(&(b.fold.clone(), b.app.clone())));
+    cells.sort_by_key(|a| (a.fold.clone(), a.app.clone()));
     for c in &cells {
         println!(
             "{:<18} {:<12} {:<8} {:>10.2} {:>10.1} {:>10.1}",

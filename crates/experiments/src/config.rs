@@ -147,8 +147,10 @@ mod tests {
 
     #[test]
     fn scaled_trials_floors_at_one() {
-        let mut c = ExperimentConfig::default();
-        c.trial_scale = 0.001;
+        let c = ExperimentConfig {
+            trial_scale: 0.001,
+            ..ExperimentConfig::default()
+        };
         assert_eq!(c.scaled_trials(50), 1);
     }
 }

@@ -87,7 +87,10 @@ impl fmt::Display for Table2Result {
             write!(
                 f,
                 "{:>22}",
-                format!("{:.2} ({:.1})", a.mean_top1_error_pct, a.worst_top1_error_pct)
+                format!(
+                    "{:.2} ({:.1})",
+                    a.mean_top1_error_pct, a.worst_top1_error_pct
+                )
             )?;
         }
         writeln!(f)?;

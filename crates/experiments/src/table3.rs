@@ -95,7 +95,10 @@ impl fmt::Display for Table3Result {
                 write!(
                     f,
                     "{:>22}",
-                    format!("{:.2} ({:.0})", a.mean_top1_error_pct, a.worst_top1_error_pct)
+                    format!(
+                        "{:.2} ({:.0})",
+                        a.mean_top1_error_pct, a.worst_top1_error_pct
+                    )
                 )?;
             }
             writeln!(f)?;

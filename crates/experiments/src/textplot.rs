@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_and_clamps() {
-        let rows = vec![("a".to_owned(), 1.0), ("bb".to_owned(), 0.5), ("c".to_owned(), -1.0)];
+        let rows = vec![
+            ("a".to_owned(), 1.0),
+            ("bb".to_owned(), 0.5),
+            ("c".to_owned(), -1.0),
+        ];
         let chart = bar_chart("t", &rows, 1.0, 10);
         assert!(chart.starts_with("t\n"));
         let lines: Vec<&str> = chart.lines().collect();

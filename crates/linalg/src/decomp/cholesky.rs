@@ -78,6 +78,7 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
     /// the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest indexed
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.l.rows();
         if b.len() != n {
@@ -120,12 +121,8 @@ mod tests {
 
     #[test]
     fn factor_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
         let chol = Cholesky::new(&a).unwrap();
         let l = chol.l();
         let rec = l.matmul(&l.transpose()).unwrap();
@@ -134,8 +131,12 @@ mod tests {
 
     #[test]
     fn known_factor() {
-        let a = Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
         let l = Cholesky::new(&a).unwrap().l().clone();
         assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
         assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
@@ -165,7 +166,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -123,7 +123,11 @@ fn sorted_eigen(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let values: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite eigenvalues"));
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("finite eigenvalues")
+    });
     let sorted_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     SymmetricEigen {
@@ -146,12 +150,8 @@ mod tests {
 
     #[test]
     fn reconstruction_v_lambda_vt() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         let n = 3;
         let lambda = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
@@ -174,12 +174,7 @@ mod tests {
 
     #[test]
     fn values_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.2, 0.1],
-            &[0.2, 5.0, 0.3],
-            &[0.1, 0.3, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.2, 0.1], &[0.2, 5.0, 0.3], &[0.1, 0.3, 2.0]]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         assert!(e.values[0] >= e.values[1] && e.values[1] >= e.values[2]);
     }

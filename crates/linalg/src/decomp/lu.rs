@@ -98,6 +98,7 @@ impl Lu {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
     /// the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest indexed
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {
@@ -178,8 +179,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]).unwrap();
         let inv = Lu::new(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);

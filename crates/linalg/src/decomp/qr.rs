@@ -107,6 +107,7 @@ impl Qr {
     }
 
     /// The thin orthogonal factor `Q` (`m × n`).
+    #[allow(clippy::needless_range_loop)] // Householder updates read clearest indexed
     pub fn q(&self) -> Matrix {
         let (m, n) = (self.rows, self.cols);
         let mut q = Matrix::zeros(m, n);
@@ -141,6 +142,7 @@ impl Qr {
     ///
     /// * [`LinalgError::DimensionMismatch`] if `b.len() != rows`.
     /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal.
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest indexed
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if b.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -249,7 +251,10 @@ mod tests {
     fn singular_matrix_reported() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

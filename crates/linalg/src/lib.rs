@@ -29,6 +29,7 @@
 
 mod error;
 mod matrix;
+mod view;
 
 pub mod decomp;
 pub mod solve;
@@ -36,6 +37,7 @@ pub mod vecops;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use view::{MatrixView, VecView};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

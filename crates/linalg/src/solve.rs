@@ -68,8 +68,7 @@ mod tests {
     #[test]
     fn lstsq_residual_is_orthogonal_to_columns() {
         // Normal equations property: A^T (b - A x) = 0.
-        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 4.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 4.0]]).unwrap();
         let b = [1.0, 2.0, 2.5, 5.0];
         let x = lstsq(&a, &b).unwrap();
         let r = residual(&a, &x, &b).unwrap();

@@ -1,116 +1,153 @@
 //! Property-based tests for the linear-algebra substrate.
+//!
+//! Randomized inputs come from the workspace's deterministic
+//! `datatrans-rng` generator (seeded per test), so failures are always
+//! reproducible.
 
 use datatrans_linalg::decomp::{symmetric_eigen, Cholesky, Lu, Qr};
 use datatrans_linalg::{solve, vecops, Matrix};
-use proptest::prelude::*;
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
 
-/// Strategy: a well-conditioned random matrix with entries in [-10, 10].
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized vec"))
+const CASES: usize = 64;
+
+/// A random matrix with entries in `[-10, 10]`.
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-10.0..10.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_vec(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    #[test]
-    fn transpose_is_involution(m in matrix_strategy(4, 7)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_is_involution() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 4, 7);
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn transpose_swaps_indices(m in matrix_strategy(3, 5)) {
+#[test]
+fn transpose_swaps_indices() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 3, 5);
         let t = m.transpose();
         for i in 0..3 {
             for j in 0..5 {
-                prop_assert_eq!(m[(i, j)], t[(j, i)]);
+                assert_eq!(m[(i, j)], t[(j, i)]);
             }
         }
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_add(
-        a in matrix_strategy(3, 4),
-        b in matrix_strategy(4, 2),
-        c in matrix_strategy(4, 2),
-    ) {
+#[test]
+fn matmul_distributes_over_add() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 3, 4);
+        let b = random_matrix(&mut rng, 4, 2);
+        let c = random_matrix(&mut rng, 4, 2);
         let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
         let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
-        prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
+        assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn qr_reconstructs(m in matrix_strategy(6, 3)) {
+#[test]
+fn qr_reconstructs() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 6, 3);
         let qr = Qr::new(&m).unwrap();
         let rec = qr.q().matmul(&qr.r()).unwrap();
-        prop_assert!(rec.sub(&m).unwrap().max_abs() < 1e-8);
+        assert!(rec.sub(&m).unwrap().max_abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn lstsq_residual_orthogonal_to_columns(
-        m in matrix_strategy(8, 3),
-        b in proptest::collection::vec(-10.0f64..10.0, 8),
-    ) {
+#[test]
+fn lstsq_residual_orthogonal_to_columns() {
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 8, 3);
+        let b = random_vec(&mut rng, 8, -10.0, 10.0);
         // Skip (rare) rank-deficient draws.
         if let Ok(x) = solve::lstsq(&m, &b) {
             let r = solve::residual(&m, &x, &b).unwrap();
             let atr = m.transpose().matvec(&r).unwrap();
-            prop_assert!(atr.iter().all(|v| v.abs() < 1e-6));
+            assert!(atr.iter().all(|v| v.abs() < 1e-6));
         }
     }
+}
 
-    #[test]
-    fn lu_solve_has_small_residual(
-        m in matrix_strategy(4, 4),
-        b in proptest::collection::vec(-10.0f64..10.0, 4),
-    ) {
+#[test]
+fn lu_solve_has_small_residual() {
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 4, 4);
+        let b = random_vec(&mut rng, 4, -10.0, 10.0);
         if let Ok(lu) = Lu::new(&m) {
             let x = lu.solve(&b).unwrap();
             let r = solve::residual(&m, &x, &b).unwrap();
             let scale = m.max_abs().max(1.0) * vecops::norm2(&x).max(1.0);
-            prop_assert!(vecops::norm2(&r) < 1e-6 * scale);
+            assert!(vecops::norm2(&r) < 1e-6 * scale);
         }
     }
+}
 
-    #[test]
-    fn cholesky_of_gram_matrix_reconstructs(m in matrix_strategy(5, 3)) {
+#[test]
+fn cholesky_of_gram_matrix_reconstructs() {
+    let mut rng = StdRng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 5, 3);
         // A^T A + eps I is symmetric positive definite.
-        let gram = m.transpose().matmul(&m).unwrap()
-            .add(&Matrix::identity(3).scale(1e-6)).unwrap();
+        let gram = m
+            .transpose()
+            .matmul(&m)
+            .unwrap()
+            .add(&Matrix::identity(3).scale(1e-6))
+            .unwrap();
         let chol = Cholesky::new(&gram).unwrap();
         let rec = chol.l().matmul(&chol.l().transpose()).unwrap();
-        prop_assert!(rec.sub(&gram).unwrap().max_abs() < 1e-8 * gram.max_abs().max(1.0));
+        assert!(rec.sub(&gram).unwrap().max_abs() < 1e-8 * gram.max_abs().max(1.0));
     }
+}
 
-    #[test]
-    fn eigen_trace_preserved(m in matrix_strategy(4, 4)) {
+#[test]
+fn eigen_trace_preserved() {
+    let mut rng = StdRng::seed_from_u64(0xA8);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng, 4, 4);
         // Symmetrize first.
         let s = m.add(&m.transpose()).unwrap().scale(0.5);
         let e = symmetric_eigen(&s).unwrap();
         let trace: f64 = (0..4).map(|i| s[(i, i)]).sum();
-        prop_assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-8);
+        assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn dot_is_commutative(
-        a in proptest::collection::vec(-100.0f64..100.0, 16),
-        b in proptest::collection::vec(-100.0f64..100.0, 16),
-    ) {
-        prop_assert_eq!(
-            vecops::dot(&a, &b).unwrap(),
-            vecops::dot(&b, &a).unwrap()
-        );
+#[test]
+fn dot_is_commutative() {
+    let mut rng = StdRng::seed_from_u64(0xA9);
+    for _ in 0..CASES {
+        let a = random_vec(&mut rng, 16, -100.0, 100.0);
+        let b = random_vec(&mut rng, 16, -100.0, 100.0);
+        assert_eq!(vecops::dot(&a, &b).unwrap(), vecops::dot(&b, &a).unwrap());
     }
+}
 
-    #[test]
-    fn triangle_inequality(
-        a in proptest::collection::vec(-100.0f64..100.0, 8),
-        b in proptest::collection::vec(-100.0f64..100.0, 8),
-        c in proptest::collection::vec(-100.0f64..100.0, 8),
-    ) {
+#[test]
+fn triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0xAA);
+    for _ in 0..CASES {
+        let a = random_vec(&mut rng, 8, -100.0, 100.0);
+        let b = random_vec(&mut rng, 8, -100.0, 100.0);
+        let c = random_vec(&mut rng, 8, -100.0, 100.0);
         let ab = vecops::euclidean_distance(&a, &b).unwrap();
         let bc = vecops::euclidean_distance(&b, &c).unwrap();
         let ac = vecops::euclidean_distance(&a, &c).unwrap();
-        prop_assert!(ac <= ab + bc + 1e-9);
+        assert!(ac <= ab + bc + 1e-9);
     }
 }

@@ -8,15 +8,14 @@
 //! purchasable machine.
 
 use datatrans_linalg::{vecops, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::seq::SliceRandom;
+use datatrans_rng::SeedableRng;
 
 use crate::{MlError, Result};
 
 /// Result of a k-medoids run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KMedoids {
     /// Row indices of the chosen medoids, sorted ascending.
     pub medoids: Vec<usize>,
@@ -29,7 +28,7 @@ pub struct KMedoids {
 }
 
 /// Configuration for [`k_medoids`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KMedoidsConfig {
     /// Number of clusters.
     pub k: usize,

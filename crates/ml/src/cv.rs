@@ -5,9 +5,9 @@
 //! at the benchmark level. The domain-specific splits live in
 //! `datatrans-core`; this module provides the generic index machinery.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::seq::SliceRandom;
+use datatrans_rng::SeedableRng;
 
 use crate::{MlError, Result};
 

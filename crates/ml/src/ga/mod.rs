@@ -23,15 +23,14 @@
 //! # }
 //! ```
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::Rng;
+use datatrans_rng::SeedableRng;
 
 use crate::{MlError, Result};
 
 /// Hyper-parameters for [`GeneticAlgorithm`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaConfig {
     /// Number of genomes per generation.
     pub population: usize,
@@ -115,7 +114,7 @@ impl GaConfig {
 }
 
 /// Outcome of a GA run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaResult {
     /// The best genome found across all generations.
     pub best_genome: Vec<f64>,
@@ -150,7 +149,12 @@ impl GeneticAlgorithm {
                 value: format!("[{lo}, {hi}]"),
             });
         }
-        Ok(GeneticAlgorithm { dim, lo, hi, config })
+        Ok(GeneticAlgorithm {
+            dim,
+            lo,
+            hi,
+            config,
+        })
     }
 
     /// Evolves the population, maximizing `fitness`.
@@ -163,9 +167,16 @@ impl GeneticAlgorithm {
         let width = self.hi - self.lo;
 
         let mut population: Vec<Vec<f64>> = (0..cfg.population)
-            .map(|_| (0..self.dim).map(|_| rng.gen_range(self.lo..self.hi)).collect())
+            .map(|_| {
+                (0..self.dim)
+                    .map(|_| rng.gen_range(self.lo..self.hi))
+                    .collect()
+            })
             .collect();
-        let mut scores: Vec<f64> = population.iter().map(|g| safe_fitness(&fitness, g)).collect();
+        let mut scores: Vec<f64> = population
+            .iter()
+            .map(|g| safe_fitness(&fitness, g))
+            .collect();
 
         let mut best_idx = argmax_f64(&scores);
         let mut best_genome = population[best_idx].clone();
@@ -177,7 +188,11 @@ impl GeneticAlgorithm {
 
             // Elitism: carry the best genomes over unchanged.
             let mut order: Vec<usize> = (0..cfg.population).collect();
-            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("fitness sanitized"));
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("fitness sanitized")
+            });
             for &i in order.iter().take(cfg.elitism) {
                 next.push(population[i].clone());
             }
@@ -196,7 +211,10 @@ impl GeneticAlgorithm {
             }
 
             population = next;
-            scores = population.iter().map(|g| safe_fitness(&fitness, g)).collect();
+            scores = population
+                .iter()
+                .map(|g| safe_fitness(&fitness, g))
+                .collect();
             best_idx = argmax_f64(&scores);
             if scores[best_idx] > best_fitness {
                 best_fitness = scores[best_idx];
@@ -292,7 +310,11 @@ mod tests {
         };
         let ga = GeneticAlgorithm::new(3, (-5.0, 5.0), config).unwrap();
         let result = ga.run(|g| -g.iter().map(|x| x * x).sum::<f64>());
-        assert!(result.best_fitness > -0.2, "fitness {}", result.best_fitness);
+        assert!(
+            result.best_fitness > -0.2,
+            "fitness {}",
+            result.best_fitness
+        );
         assert!(result.best_genome.iter().all(|x| x.abs() < 0.5));
     }
 

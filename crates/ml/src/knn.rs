@@ -7,12 +7,11 @@
 //! machinery; the GA lives in [`crate::ga`].
 
 use datatrans_linalg::{vecops, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{MlError, Result};
 
 /// How neighbour targets are combined into a prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NeighborWeighting {
     /// Plain average of the neighbours' targets.
     Uniform,
@@ -50,7 +49,7 @@ pub struct Neighbor {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnIndex {
     points: Matrix,
     weights: Vec<f64>,
@@ -193,9 +192,24 @@ pub fn combine_targets(
     targets: &[f64],
     weighting: NeighborWeighting,
 ) -> f64 {
+    combine_targets_with(neighbors, |i| targets[i], weighting)
+}
+
+/// Combines neighbour targets read through `target_of`, per the chosen
+/// weighting scheme.
+///
+/// This is the zero-copy entry point: callers whose targets live in a
+/// matrix column pass a closure indexing the matrix (or a
+/// [`datatrans_linalg::VecView`]) directly instead of gathering the column
+/// into a `Vec` first.
+pub fn combine_targets_with(
+    neighbors: &[Neighbor],
+    target_of: impl Fn(usize) -> f64,
+    weighting: NeighborWeighting,
+) -> f64 {
     match weighting {
         NeighborWeighting::Uniform => {
-            neighbors.iter().map(|n| targets[n.index]).sum::<f64>() / neighbors.len() as f64
+            neighbors.iter().map(|n| target_of(n.index)).sum::<f64>() / neighbors.len() as f64
         }
         NeighborWeighting::InverseDistance => {
             const EPS: f64 = 1e-9;
@@ -203,7 +217,7 @@ pub fn combine_targets(
             let mut den = 0.0;
             for n in neighbors {
                 let w = 1.0 / (n.distance + EPS);
-                num += w * targets[n.index];
+                num += w * target_of(n.index);
                 den += w;
             }
             num / den
@@ -265,7 +279,12 @@ mod tests {
         let index = square_index();
         let targets = [10.0, 20.0, 30.0, 40.0];
         let p = index
-            .predict(&[0.01, 0.0], 2, &targets, NeighborWeighting::InverseDistance)
+            .predict(
+                &[0.01, 0.0],
+                2,
+                &targets,
+                NeighborWeighting::InverseDistance,
+            )
             .unwrap();
         assert!(p < 15.0); // pulled towards target 10 of the closest point
     }

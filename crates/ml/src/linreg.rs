@@ -5,7 +5,6 @@
 //! [`MultipleLinearRegression`] generalizes to several regressors via QR.
 
 use datatrans_linalg::{solve::lstsq, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{MlError, Result};
 
@@ -24,7 +23,7 @@ use crate::{MlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimpleLinearRegression {
     slope: f64,
     intercept: f64,
@@ -48,19 +47,42 @@ impl SimpleLinearRegression {
                 y.len()
             )));
         }
-        if x.len() < 2 {
+        Self::fit_pairs(x.iter().copied().zip(y.iter().copied()))
+    }
+
+    /// Fits the regression on an iterator of `(x, y)` pairs.
+    ///
+    /// This is the zero-copy entry point: the NNᵀ hot path feeds it pairs of
+    /// strided matrix-column views directly, so no per-column buffer is ever
+    /// materialized. The iterator must be `Clone` because the fit makes two
+    /// passes (means, then centered moments; the residual sum falls out of
+    /// the moments algebraically).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimpleLinearRegression::fit`].
+    pub fn fit_pairs(pairs: impl Iterator<Item = (f64, f64)> + Clone) -> Result<Self> {
+        let mut n = 0usize;
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        for (xi, yi) in pairs.clone() {
+            if !xi.is_finite() || !yi.is_finite() {
+                return Err(MlError::invalid_input("input contains NaN/inf"));
+            }
+            sum_x += xi;
+            sum_y += yi;
+            n += 1;
+        }
+        if n < 2 {
             return Err(MlError::invalid_input("need at least 2 points"));
         }
-        if x.iter().chain(y).any(|v| !v.is_finite()) {
-            return Err(MlError::invalid_input("input contains NaN/inf"));
-        }
-        let n = x.len() as f64;
-        let mx = x.iter().sum::<f64>() / n;
-        let my = y.iter().sum::<f64>() / n;
+        let nf = n as f64;
+        let mx = sum_x / nf;
+        let my = sum_y / nf;
         let mut sxx = 0.0;
         let mut sxy = 0.0;
         let mut syy = 0.0;
-        for (&xi, &yi) in x.iter().zip(y) {
+        for (xi, yi) in pairs {
             sxx += (xi - mx) * (xi - mx);
             sxy += (xi - mx) * (yi - my);
             syy += (yi - my) * (yi - my);
@@ -70,25 +92,21 @@ impl SimpleLinearRegression {
         }
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
+        // For the least-squares line, SS_res = syy − slope·sxy — no third
+        // pass over the data. Cancellation on a near-exact fit can drive the
+        // difference a hair negative; clamp to 0.
+        let ss_res = (syy - slope * sxy).max(0.0);
         // R² = 1 - SS_res/SS_tot; for constant y define R² = 1 (perfect fit
         // by the constant model, which the line reproduces).
-        let ss_res: f64 = x
-            .iter()
-            .zip(y)
-            .map(|(&xi, &yi)| {
-                let e = yi - (slope * xi + intercept);
-                e * e
-            })
-            .sum();
         let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
-        let dof = (x.len() as f64 - 2.0).max(1.0);
+        let dof = (nf - 2.0).max(1.0);
         let residual_std = (ss_res / dof).sqrt();
         Ok(SimpleLinearRegression {
             slope,
             intercept,
             r_squared,
             residual_std,
-            n: x.len(),
+            n,
         })
     }
 
@@ -124,7 +142,7 @@ impl SimpleLinearRegression {
 }
 
 /// Multiple linear regression `y = β₀ + β₁x₁ + … + βₚxₚ` via Householder QR.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultipleLinearRegression {
     /// Coefficients; `coefficients[0]` is the intercept.
     coefficients: Vec<f64>,
@@ -170,12 +188,12 @@ impl MultipleLinearRegression {
         let fitted = design.matvec(&coefficients)?;
         let my = y.iter().sum::<f64>() / y.len() as f64;
         let ss_tot: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
-        let ss_res: f64 = y
-            .iter()
-            .zip(&fitted)
-            .map(|(v, f)| (v - f) * (v - f))
-            .sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let ss_res: f64 = y.iter().zip(&fitted).map(|(v, f)| (v - f) * (v - f)).sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         Ok(MultipleLinearRegression {
             coefficients,
             r_squared,

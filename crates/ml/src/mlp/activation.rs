@@ -1,9 +1,7 @@
 //! Activation functions for the multilayer perceptron.
 
-use serde::{Deserialize, Serialize};
-
 /// Activation function applied by a hidden or output layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Logistic sigmoid `1 / (1 + e^{-x})` — WEKA's hidden-node activation.
     Sigmoid,

@@ -11,6 +11,12 @@
 //! * stochastic gradient descent, learning rate `0.3`, momentum `0.2`,
 //! * `500` training epochs.
 //!
+//! All per-sample state of a forward/backward pass lives in one flat,
+//! preallocated [`MlpScratch`] buffer: training reuses a single scratch
+//! across every epoch and sample, and batch prediction
+//! ([`MlpRegressor::predict_with_scratch`]) amortizes it across calls —
+//! no `Vec<Vec<f64>>` is allocated anywhere on the hot path.
+//!
 //! # Example
 //!
 //! ```
@@ -36,17 +42,16 @@ mod network;
 pub use activation::Activation;
 
 use datatrans_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::seq::SliceRandom;
+use datatrans_rng::SeedableRng;
 
 use crate::scale::MinMaxScaler;
 use crate::{MlError, Result};
 use network::Layer;
 
 /// Hyper-parameters for [`MlpRegressor`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlpConfig {
     /// Hidden layer sizes. Empty means WEKA's automatic single hidden layer
     /// of `(inputs + 1) / 2` nodes.
@@ -104,7 +109,7 @@ impl MlpConfig {
                 value: "0".into(),
             });
         }
-        if self.hidden_layers.iter().any(|&h| h == 0) {
+        if self.hidden_layers.contains(&0) {
             return Err(MlError::InvalidParameter {
                 name: "hidden_layers",
                 value: format!("{:?}", self.hidden_layers),
@@ -120,8 +125,59 @@ impl Default for MlpConfig {
     }
 }
 
+/// Preallocated per-pass working memory for one [`MlpRegressor`].
+///
+/// Holds every layer's activations in one flat buffer plus the two delta
+/// buffers of backpropagation and the scaled-input row. Obtain one with
+/// [`MlpRegressor::scratch`] and reuse it across
+/// [`MlpRegressor::predict_with_scratch`] calls to keep prediction
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct MlpScratch {
+    /// Concatenated activations, one segment per layer.
+    buf: Vec<f64>,
+    /// `(start, end)` of each layer's segment in `buf`.
+    bounds: Vec<(usize, usize)>,
+    /// ∂loss/∂pre-activation of the current layer.
+    delta: Vec<f64>,
+    /// Gradient w.r.t. the current layer's inputs.
+    input_grad: Vec<f64>,
+    /// Scaled feature row for prediction.
+    input: Vec<f64>,
+}
+
+impl MlpScratch {
+    fn for_layers(layers: &[Layer], n_inputs: usize) -> Self {
+        let mut bounds = Vec::with_capacity(layers.len());
+        let mut total = 0;
+        let mut widest = 0;
+        for layer in layers {
+            bounds.push((total, total + layer.outputs));
+            total += layer.outputs;
+            widest = widest.max(layer.outputs).max(layer.inputs);
+        }
+        MlpScratch {
+            buf: vec![0.0; total],
+            bounds,
+            delta: vec![0.0; widest],
+            input_grad: vec![0.0; widest],
+            input: vec![0.0; n_inputs],
+        }
+    }
+
+    fn fits(&self, layers: &[Layer], n_inputs: usize) -> bool {
+        self.bounds.len() == layers.len()
+            && self.input.len() == n_inputs
+            && self
+                .bounds
+                .iter()
+                .zip(layers)
+                .all(|(&(s, e), l)| e - s == l.outputs)
+    }
+}
+
 /// A fitted multilayer perceptron for scalar regression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlpRegressor {
     layers: Vec<Layer>,
     input_scaler: MinMaxScaler,
@@ -133,6 +189,10 @@ pub struct MlpRegressor {
 impl MlpRegressor {
     /// Trains an MLP on `x` (rows = samples) against targets `y`.
     ///
+    /// The input scaler is fitted on `x` (WEKA behaviour). Use
+    /// [`MlpRegressor::fit_with_input_scaler`] to scale against a wider
+    /// feature population.
+    ///
     /// # Errors
     ///
     /// * [`MlError::InvalidInput`] on shape mismatch, empty data, or
@@ -140,22 +200,48 @@ impl MlpRegressor {
     /// * [`MlError::InvalidParameter`] if `config` fails validation.
     pub fn fit(x: &Matrix, y: &[f64], config: &MlpConfig) -> Result<Self> {
         config.validate()?;
-        if x.rows() != y.len() {
+        validate_training_data(x, y)?;
+        let input_scaler = MinMaxScaler::weka(x)?;
+        Self::fit_validated(x, y, input_scaler, config)
+    }
+
+    /// Trains an MLP with a caller-supplied input scaler.
+    ///
+    /// MLPᵀ fits the scaler over the union of predictive- and
+    /// target-machine feature rows (all published data), which keeps
+    /// prediction-time inputs inside the scaled range even when the
+    /// training set is tiny — WEKA's fit-on-train scaling saturates the
+    /// sigmoid layer there and collapses every prediction to a constant.
+    ///
+    /// # Errors
+    ///
+    /// Conditions of [`MlpRegressor::fit`], plus [`MlError::InvalidInput`]
+    /// if the scaler's feature count differs from `x`'s columns.
+    pub fn fit_with_input_scaler(
+        x: &Matrix,
+        y: &[f64],
+        input_scaler: MinMaxScaler,
+        config: &MlpConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        validate_training_data(x, y)?;
+        if input_scaler.n_features() != x.cols() {
             return Err(MlError::invalid_input(format!(
-                "x has {} rows, y has {} values",
-                x.rows(),
-                y.len()
+                "input scaler fitted on {} features, x has {}",
+                input_scaler.n_features(),
+                x.cols()
             )));
         }
-        if x.is_empty() {
-            return Err(MlError::invalid_input("empty training data"));
-        }
-        if !x.all_finite() || y.iter().any(|v| !v.is_finite()) {
-            return Err(MlError::invalid_input("training data contains NaN/inf"));
-        }
+        Self::fit_validated(x, y, input_scaler, config)
+    }
 
+    fn fit_validated(
+        x: &Matrix,
+        y: &[f64],
+        input_scaler: MinMaxScaler,
+        config: &MlpConfig,
+    ) -> Result<Self> {
         // WEKA-style normalization of attributes and numeric class to [-1,1].
-        let input_scaler = MinMaxScaler::weka(x)?;
         let y_matrix = Matrix::from_vec(y.len(), 1, y.to_vec())?;
         let target_scaler = MinMaxScaler::weka(&y_matrix)?;
         let scaled_x = input_scaler.transform(x)?;
@@ -167,7 +253,7 @@ impl MlpRegressor {
         // Topology: WEKA 'a' = (attribs + classes) / 2 for empty config.
         let n_inputs = x.cols();
         let hidden: Vec<usize> = if config.hidden_layers.is_empty() {
-            vec![((n_inputs + 1) / 2).max(1)]
+            vec![n_inputs.div_ceil(2).max(1)]
         } else {
             config.hidden_layers.clone()
         };
@@ -195,83 +281,106 @@ impl MlpRegressor {
     fn train(&mut self, x: &Matrix, y: &[f64], config: &MlpConfig, rng: &mut StdRng) {
         let n = x.rows();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut activations: Vec<Vec<f64>> = Vec::new();
+        let mut scratch = self.scratch();
         for _epoch in 0..config.epochs {
             if config.shuffle {
                 order.shuffle(rng);
             }
             for &s in &order {
                 let input = x.row(s);
-                self.forward(input, &mut activations);
-                let output = activations.last().expect("at least one layer")[0];
+                forward_into(&self.layers, input, &mut scratch);
+                let output = last_output(&scratch);
                 // Squared-error loss; output layer is linear so the
                 // pre-activation delta is just the error.
                 let error = output - y[s];
-                self.backward(input, &activations, error, config);
+                self.backward(input, &mut scratch, error, config);
             }
         }
         // Record final training MSE (on the scaled target).
         let mut mse = 0.0;
-        for s in 0..n {
-            self.forward(x.row(s), &mut activations);
-            let out = activations.last().expect("layers")[0];
-            mse += (out - y[s]) * (out - y[s]);
+        for (s, &ys) in y.iter().enumerate() {
+            forward_into(&self.layers, x.row(s), &mut scratch);
+            let out = last_output(&scratch);
+            mse += (out - ys) * (out - ys);
         }
         self.training_mse = mse / n as f64;
-    }
-
-    /// Forward pass storing each layer's output in `activations`.
-    fn forward(&self, input: &[f64], activations: &mut Vec<Vec<f64>>) {
-        activations.resize(self.layers.len(), Vec::new());
-        for li in 0..self.layers.len() {
-            // Take the output buffer out so the previous layer's output can
-            // be borrowed immutably at the same time.
-            let mut out = std::mem::take(&mut activations[li]);
-            {
-                let layer_input: &[f64] = if li == 0 { input } else { &activations[li - 1] };
-                self.layers[li].forward(layer_input, &mut out);
-            }
-            activations[li] = out;
-        }
     }
 
     fn backward(
         &mut self,
         input: &[f64],
-        activations: &[Vec<f64>],
+        scratch: &mut MlpScratch,
         output_error: f64,
         config: &MlpConfig,
     ) {
+        let MlpScratch {
+            buf,
+            bounds,
+            delta,
+            input_grad,
+            ..
+        } = scratch;
         // Deltas flow backwards; for the (linear) output layer the
         // pre-activation delta equals the output error.
-        let mut delta = vec![output_error];
+        delta[0] = output_error;
+        let mut delta_len = 1;
         for li in (0..self.layers.len()).rev() {
-            let layer_input: &[f64] = if li == 0 { input } else { &activations[li - 1] };
-            let input_grad = self.layers[li].backward(
+            let layer_input: &[f64] = if li == 0 {
+                input
+            } else {
+                let (ps, pe) = bounds[li - 1];
+                &buf[ps..pe]
+            };
+            let grad_len = self.layers[li].inputs;
+            self.layers[li].backward(
                 layer_input,
-                &delta,
+                &delta[..delta_len],
+                &mut input_grad[..grad_len],
                 config.learning_rate,
                 config.momentum,
             );
             if li > 0 {
                 // Multiply by the upstream layer's activation derivative.
                 let act = self.layers[li - 1].activation;
-                delta = input_grad
-                    .iter()
-                    .zip(&activations[li - 1])
-                    .map(|(&g, &out)| g * act.derivative_from_output(out))
-                    .collect();
+                let (ps, _) = bounds[li - 1];
+                for i in 0..grad_len {
+                    delta[i] = input_grad[i] * act.derivative_from_output(buf[ps + i]);
+                }
+                delta_len = grad_len;
             }
         }
     }
 
+    /// Allocates a scratch buffer sized for this network. Reuse it across
+    /// [`MlpRegressor::predict_with_scratch`] calls.
+    pub fn scratch(&self) -> MlpScratch {
+        MlpScratch::for_layers(&self.layers, self.n_inputs)
+    }
+
     /// Predicts the target for one feature row.
+    ///
+    /// Allocates a fresh scratch; batch callers should allocate one with
+    /// [`MlpRegressor::scratch`] and use
+    /// [`MlpRegressor::predict_with_scratch`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidInput`] if the feature count differs from
     /// training or the features are non-finite.
     pub fn predict(&self, features: &[f64]) -> Result<f64> {
+        let mut scratch = self.scratch();
+        self.predict_with_scratch(features, &mut scratch)
+    }
+
+    /// Predicts the target for one feature row using caller-owned scratch —
+    /// the allocation-free prediction path.
+    ///
+    /// # Errors
+    ///
+    /// Conditions of [`MlpRegressor::predict`], plus
+    /// [`MlError::InvalidInput`] if `scratch` was allocated for a different
+    /// network shape.
+    pub fn predict_with_scratch(&self, features: &[f64], scratch: &mut MlpScratch) -> Result<f64> {
         if features.len() != self.n_inputs {
             return Err(MlError::invalid_input(format!(
                 "expected {} features, got {}",
@@ -282,21 +391,31 @@ impl MlpRegressor {
         if features.iter().any(|v| !v.is_finite()) {
             return Err(MlError::invalid_input("features contain NaN/inf"));
         }
-        let mut scaled = features.to_vec();
-        self.input_scaler.transform_row(&mut scaled)?;
-        let mut activations: Vec<Vec<f64>> = Vec::new();
-        self.forward(&scaled, &mut activations);
-        let out = activations.last().expect("layers")[0];
+        if !scratch.fits(&self.layers, self.n_inputs) {
+            return Err(MlError::invalid_input(
+                "scratch was allocated for a different network shape",
+            ));
+        }
+        scratch.input.copy_from_slice(features);
+        self.input_scaler.transform_row(&mut scratch.input)?;
+        let MlpScratch {
+            buf, bounds, input, ..
+        } = scratch;
+        forward_segments(&self.layers, input, buf, bounds);
+        let out = buf[bounds.last().expect("at least one layer").0];
         Ok(self.target_scaler.inverse_value(0, out))
     }
 
-    /// Predicts for every row of a feature matrix.
+    /// Predicts for every row of a feature matrix, reusing one scratch.
     ///
     /// # Errors
     ///
     /// Same conditions as [`MlpRegressor::predict`].
     pub fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>> {
-        x.iter_rows().map(|row| self.predict(row)).collect()
+        let mut scratch = self.scratch();
+        x.iter_rows()
+            .map(|row| self.predict_with_scratch(row, &mut scratch))
+            .collect()
     }
 
     /// Mean squared error on the (scaled) training data after the last epoch.
@@ -313,6 +432,50 @@ impl MlpRegressor {
     pub fn layer_sizes(&self) -> Vec<usize> {
         self.layers.iter().map(|l| l.outputs).collect()
     }
+}
+
+fn validate_training_data(x: &Matrix, y: &[f64]) -> Result<()> {
+    if x.rows() != y.len() {
+        return Err(MlError::invalid_input(format!(
+            "x has {} rows, y has {} values",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.is_empty() {
+        return Err(MlError::invalid_input("empty training data"));
+    }
+    if !x.all_finite() || y.iter().any(|v| !v.is_finite()) {
+        return Err(MlError::invalid_input("training data contains NaN/inf"));
+    }
+    Ok(())
+}
+
+/// Forward pass writing each layer's activations into its scratch segment.
+fn forward_into(layers: &[Layer], input: &[f64], scratch: &mut MlpScratch) {
+    let MlpScratch { buf, bounds, .. } = scratch;
+    forward_segments(layers, input, buf, bounds);
+}
+
+fn forward_segments(layers: &[Layer], input: &[f64], buf: &mut [f64], bounds: &[(usize, usize)]) {
+    for (li, layer) in layers.iter().enumerate() {
+        let (start, end) = bounds[li];
+        // Segments are laid out consecutively, so splitting at this layer's
+        // start exposes the previous layer's output immutably while the
+        // current segment is written.
+        let (prev, cur) = buf.split_at_mut(start);
+        let layer_input: &[f64] = if li == 0 {
+            input
+        } else {
+            let (ps, pe) = bounds[li - 1];
+            &prev[ps..pe]
+        };
+        layer.forward(layer_input, &mut cur[..end - start]);
+    }
+}
+
+fn last_output(scratch: &MlpScratch) -> f64 {
+    scratch.buf[scratch.bounds.last().expect("at least one layer").0]
 }
 
 #[cfg(test)]
@@ -452,6 +615,54 @@ mod tests {
         for (i, row) in x.iter_rows().enumerate() {
             assert_eq!(batch[i], model.predict(row).unwrap());
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(5);
+        cfg.epochs = 10;
+        let model = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        let mut scratch = model.scratch();
+        for row in x.iter_rows() {
+            let fresh = model.predict(row).unwrap();
+            let reused = model.predict_with_scratch(row, &mut scratch).unwrap();
+            assert_eq!(fresh.to_bits(), reused.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_shape_mismatch_rejected() {
+        let (x, y) = grid_xy();
+        let mut cfg = MlpConfig::weka_default(1);
+        cfg.epochs = 1;
+        let small = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        cfg.hidden_layers = vec![8, 4];
+        let big = MlpRegressor::fit(&x, &y, &cfg).unwrap();
+        let mut wrong = small.scratch();
+        assert!(big.predict_with_scratch(&[0.1, 0.2], &mut wrong).is_err());
+    }
+
+    #[test]
+    fn fit_with_wider_scaler_accepts_out_of_range_features() {
+        let (x, y) = grid_xy();
+        // Scale over a range wider than the training grid.
+        let wide = Matrix::from_rows(&[&[-2.0, -2.0], &[3.0, 3.0]]).unwrap();
+        let scaler = MinMaxScaler::fit_many(&[&x, &wide], -1.0, 1.0).unwrap();
+        let mut cfg = MlpConfig::weka_default(3);
+        cfg.epochs = 50;
+        let model = MlpRegressor::fit_with_input_scaler(&x, &y, scaler, &cfg).unwrap();
+        let p = model.predict(&[2.5, 2.5]).unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn fit_with_mismatched_scaler_rejected() {
+        let (x, y) = grid_xy();
+        let narrow = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        let scaler = MinMaxScaler::weka(&narrow).unwrap();
+        let cfg = MlpConfig::weka_default(1);
+        assert!(MlpRegressor::fit_with_input_scaler(&x, &y, scaler, &cfg).is_err());
     }
 
     #[test]

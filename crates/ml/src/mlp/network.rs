@@ -1,13 +1,16 @@
 //! Feed-forward network internals: dense layers with per-weight momentum.
+//!
+//! Layers read and write caller-provided slices (the flat scratch buffers
+//! owned by [`super::MlpScratch`]), so a forward/backward pass performs no
+//! allocation.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::Rng;
 
 use super::activation::Activation;
 
 /// One dense layer: `out = f(W·in + b)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Layer {
     /// Row-major `(outputs × inputs)` weight matrix.
     pub weights: Vec<f64>,
@@ -39,39 +42,41 @@ impl Layer {
         }
     }
 
-    /// Forward pass for one sample.
-    pub fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+    /// Forward pass for one sample, writing into `output`
+    /// (`output.len() == self.outputs`).
+    pub fn forward(&self, input: &[f64], output: &mut [f64]) {
         debug_assert_eq!(input.len(), self.inputs);
-        output.clear();
-        for o in 0..self.outputs {
+        debug_assert_eq!(output.len(), self.outputs);
+        for (o, out) in output.iter_mut().enumerate() {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let z: f64 = self.biases[o]
-                + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
-            output.push(self.activation.apply(z));
+            let z: f64 = self.biases[o] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
+            *out = self.activation.apply(z);
         }
     }
 
     /// Backward pass for one sample with SGD + momentum.
     ///
-    /// `delta` is ∂loss/∂pre-activation for this layer's outputs. Returns the
+    /// `delta` is ∂loss/∂pre-activation for this layer's outputs. The
     /// gradient with respect to this layer's *inputs* (i.e. the next `delta`
     /// for the upstream layer, before multiplying by its activation
-    /// derivative).
+    /// derivative) is written into `input_grad`
+    /// (`input_grad.len() == self.inputs`).
     pub fn backward(
         &mut self,
         input: &[f64],
         delta: &[f64],
+        input_grad: &mut [f64],
         learning_rate: f64,
         momentum: f64,
-    ) -> Vec<f64> {
+    ) {
         debug_assert_eq!(delta.len(), self.outputs);
-        let mut input_grad = vec![0.0; self.inputs];
-        for o in 0..self.outputs {
-            let d = delta[o];
+        debug_assert_eq!(input_grad.len(), self.inputs);
+        input_grad.fill(0.0);
+        for (o, &d) in delta.iter().enumerate() {
             let row_start = o * self.inputs;
             for i in 0..self.inputs {
-                input_grad[i] += self.weights[row_start + i] * d;
                 let idx = row_start + i;
+                input_grad[i] += self.weights[idx] * d;
                 let update = -learning_rate * d * input[i] + momentum * self.weight_velocity[idx];
                 self.weight_velocity[idx] = update;
                 self.weights[idx] += update;
@@ -80,14 +85,13 @@ impl Layer {
             self.bias_velocity[o] = bias_update;
             self.biases[o] += bias_update;
         }
-        input_grad
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use datatrans_rng::SeedableRng;
 
     #[test]
     fn forward_computes_affine_plus_activation() {
@@ -95,9 +99,9 @@ mod tests {
         let mut layer = Layer::new(2, 1, Activation::Linear, &mut rng);
         layer.weights = vec![2.0, -1.0];
         layer.biases = vec![0.5];
-        let mut out = Vec::new();
+        let mut out = [0.0];
         layer.forward(&[3.0, 4.0], &mut out);
-        assert_eq!(out, vec![2.0 * 3.0 - 4.0 + 0.5]);
+        assert_eq!(out, [2.0 * 3.0 - 4.0 + 0.5]);
     }
 
     #[test]
@@ -108,13 +112,14 @@ mod tests {
         let mut layer = Layer::new(1, 1, Activation::Linear, &mut rng);
         let x = [1.5];
         let target = 3.0;
-        let mut out = Vec::new();
+        let mut out = [0.0];
+        let mut grad = [0.0];
         layer.forward(&x, &mut out);
         let initial_err = (out[0] - target).abs();
         for _ in 0..50 {
             layer.forward(&x, &mut out);
             let delta = [out[0] - target];
-            layer.backward(&x, &delta, 0.1, 0.0);
+            layer.backward(&x, &delta, &mut grad, 0.1, 0.0);
         }
         layer.forward(&x, &mut out);
         assert!((out[0] - target).abs() < initial_err.min(1e-3));
@@ -126,5 +131,18 @@ mod tests {
         let layer = Layer::new(10, 10, Activation::Sigmoid, &mut rng);
         assert!(layer.weights.iter().all(|w| (-0.5..0.5).contains(w)));
         assert!(layer.biases.iter().all(|b| (-0.5..0.5).contains(b)));
+    }
+
+    #[test]
+    fn input_grad_matches_weight_transpose_times_delta() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Layer::new(2, 2, Activation::Linear, &mut rng);
+        layer.weights = vec![1.0, 2.0, 3.0, 4.0]; // rows: [1,2], [3,4]
+        let weights_before = layer.weights.clone();
+        let mut grad = [0.0, 0.0];
+        // lr = 0 keeps weights fixed so the expected gradient is exact.
+        layer.backward(&[1.0, 1.0], &[1.0, 1.0], &mut grad, 0.0, 0.0);
+        assert_eq!(grad, [1.0 + 3.0, 2.0 + 4.0]);
+        assert_eq!(layer.weights, weights_before);
     }
 }

@@ -6,7 +6,6 @@
 
 use datatrans_linalg::decomp::symmetric_eigen;
 use datatrans_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::{MlError, Result};
 
@@ -28,7 +27,7 @@ use crate::{MlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pca {
     /// Column means of the training data.
     mean: Vec<f64>,

@@ -1,7 +1,6 @@
 //! Feature scaling fitted on training data and applied to held-out data.
 
 use datatrans_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::{MlError, Result};
 
@@ -23,7 +22,7 @@ use crate::{MlError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinMaxScaler {
     mins: Vec<f64>,
     maxs: Vec<f64>,
@@ -81,6 +80,49 @@ impl MinMaxScaler {
     /// Same conditions as [`MinMaxScaler::fit`].
     pub fn weka(data: &Matrix) -> Result<Self> {
         Self::fit(data, -1.0, 1.0)
+    }
+
+    /// Fits the scaler over the rows of several matrices at once, without
+    /// concatenating them.
+    ///
+    /// MLPᵀ uses this transductively: the per-feature range is taken over
+    /// both the (labelled) predictive machines and the (unlabelled) target
+    /// machines, whose benchmark scores are all published data. With tiny
+    /// training sets this keeps held-out feature rows inside the scaled
+    /// range instead of extrapolating far past it and saturating the
+    /// network.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidInput`] if no matrix is given, the matrices have
+    ///   different column counts, any is empty/non-finite, or `lo >= hi`.
+    pub fn fit_many(parts: &[&Matrix], lo: f64, hi: f64) -> Result<Self> {
+        let [first, rest @ ..] = parts else {
+            return Err(MlError::invalid_input("cannot fit scaler on no data"));
+        };
+        let mut scaler = Self::fit(first, lo, hi)?;
+        for part in rest {
+            if part.cols() != scaler.mins.len() {
+                return Err(MlError::invalid_input(format!(
+                    "matrix has {} features, first had {}",
+                    part.cols(),
+                    scaler.mins.len()
+                )));
+            }
+            if part.is_empty() {
+                return Err(MlError::invalid_input("cannot fit scaler on empty data"));
+            }
+            if !part.all_finite() {
+                return Err(MlError::invalid_input("scaler input contains NaN/inf"));
+            }
+            for row in part.iter_rows() {
+                for (j, &v) in row.iter().enumerate() {
+                    scaler.mins[j] = scaler.mins[j].min(v);
+                    scaler.maxs[j] = scaler.maxs[j].max(v);
+                }
+            }
+        }
+        Ok(scaler)
     }
 
     /// Number of features the scaler was fitted on.
@@ -159,7 +201,7 @@ impl MinMaxScaler {
 /// Per-feature standardizer to zero mean and unit variance.
 ///
 /// Constant features are passed through centered (divided by 1 instead of 0).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StandardScaler {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -296,6 +338,30 @@ mod tests {
         assert_eq!(t.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
         let wrong = Matrix::zeros(1, 3);
         assert!(s.transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn minmax_fit_many_spans_all_parts() {
+        let a = Matrix::from_rows(&[&[0.0, 5.0], &[2.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[-2.0, 9.0]]).unwrap();
+        let s = MinMaxScaler::fit_many(&[&a, &b], -1.0, 1.0).unwrap();
+        // Feature 0 range is [-2, 2]; feature 1 range is [5, 9].
+        assert_eq!(s.transform_value(0, -2.0), -1.0);
+        assert_eq!(s.transform_value(0, 2.0), 1.0);
+        assert_eq!(s.transform_value(1, 9.0), 1.0);
+        // Single part behaves exactly like `fit`.
+        let one = MinMaxScaler::fit_many(&[&a], -1.0, 1.0).unwrap();
+        assert_eq!(one, MinMaxScaler::weka(&a).unwrap());
+    }
+
+    #[test]
+    fn minmax_fit_many_validates() {
+        let a = Matrix::from_rows(&[&[0.0, 5.0]]).unwrap();
+        let wrong = Matrix::zeros(1, 3);
+        assert!(MinMaxScaler::fit_many(&[], -1.0, 1.0).is_err());
+        assert!(MinMaxScaler::fit_many(&[&a, &wrong], -1.0, 1.0).is_err());
+        let nan = Matrix::from_rows(&[&[f64::NAN, 1.0]]).unwrap();
+        assert!(MinMaxScaler::fit_many(&[&a, &nan], -1.0, 1.0).is_err());
     }
 
     #[test]

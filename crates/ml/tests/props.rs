@@ -1,4 +1,8 @@
 //! Property-based tests for the ML substrate.
+//!
+//! Randomized inputs come from the workspace's deterministic
+//! `datatrans-rng` generator (seeded per test), so failures are always
+//! reproducible.
 
 use datatrans_linalg::Matrix;
 use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
@@ -6,111 +10,131 @@ use datatrans_ml::cv::{k_fold, leave_one_out};
 use datatrans_ml::knn::{KnnIndex, NeighborWeighting};
 use datatrans_ml::linreg::SimpleLinearRegression;
 use datatrans_ml::scale::{MinMaxScaler, StandardScaler};
-use proptest::prelude::*;
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
 
-fn distinct_xs(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    // Strictly increasing xs => never constant.
-    proptest::collection::vec(0.01f64..10.0, len).prop_map(|steps| {
-        let mut acc = 0.0;
-        steps
-            .iter()
-            .map(|s| {
-                acc += s;
-                acc
-            })
-            .collect()
-    })
+const CASES: usize = 48;
+
+fn random_vec(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Strictly increasing xs => never constant.
+fn distinct_xs(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..len)
+        .map(|_| {
+            acc += rng.gen_range(0.01..10.0);
+            acc
+        })
+        .collect()
+}
 
-    #[test]
-    fn linreg_recovers_exact_line(
-        xs in distinct_xs(10),
-        slope in -5.0f64..5.0,
-        intercept in -100.0f64..100.0,
-    ) {
+#[test]
+fn linreg_recovers_exact_line() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let xs = distinct_xs(&mut rng, 10);
+        let slope = rng.gen_range(-5.0..5.0);
+        let intercept = rng.gen_range(-100.0..100.0);
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let fit = SimpleLinearRegression::fit(&xs, &ys).unwrap();
-        prop_assert!((fit.slope() - slope).abs() < 1e-6);
-        prop_assert!((fit.intercept() - intercept).abs() < 1e-5);
-        prop_assert!(fit.r_squared() > 1.0 - 1e-9);
+        assert!((fit.slope() - slope).abs() < 1e-6);
+        assert!((fit.intercept() - intercept).abs() < 1e-5);
+        assert!(fit.r_squared() > 1.0 - 1e-9);
     }
+}
 
-    #[test]
-    fn linreg_r2_bounded_above(xs in distinct_xs(8), ys in proptest::collection::vec(-50.0f64..50.0, 8)) {
+#[test]
+fn linreg_r2_bounded_above() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let xs = distinct_xs(&mut rng, 8);
+        let ys = random_vec(&mut rng, 8, -50.0, 50.0);
         let fit = SimpleLinearRegression::fit(&xs, &ys).unwrap();
-        prop_assert!(fit.r_squared() <= 1.0 + 1e-12);
+        assert!(fit.r_squared() <= 1.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn minmax_scaler_bounds_training_data(
-        data in proptest::collection::vec(-1000.0f64..1000.0, 12)
-    ) {
+#[test]
+fn minmax_scaler_bounds_training_data() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let data = random_vec(&mut rng, 12, -1000.0, 1000.0);
         let m = Matrix::from_vec(12, 1, data.clone()).unwrap();
         let s = MinMaxScaler::weka(&m).unwrap();
         for &v in &data {
             let z = s.transform_value(0, v);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
-            prop_assert!((s.inverse_value(0, z) - v).abs() < 1e-6);
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
+            assert!((s.inverse_value(0, z) - v).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn standard_scaler_roundtrip(
-        data in proptest::collection::vec(-100.0f64..100.0, 9)
-    ) {
-        let m = Matrix::from_vec(3, 3, data.clone()).unwrap();
+#[test]
+fn standard_scaler_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let data = random_vec(&mut rng, 9, -100.0, 100.0);
+        let m = Matrix::from_vec(3, 3, data).unwrap();
         let s = StandardScaler::fit(&m).unwrap();
         let t = s.transform(&m).unwrap();
         for i in 0..3 {
             for j in 0..3 {
                 let back = s.inverse_value(j, t[(i, j)]);
-                prop_assert!((back - m[(i, j)]).abs() < 1e-8);
+                assert!((back - m[(i, j)]).abs() < 1e-8);
             }
         }
     }
+}
 
-    #[test]
-    fn knn_nearest_distances_sorted(
-        data in proptest::collection::vec(-10.0f64..10.0, 24),
-        query in proptest::collection::vec(-10.0f64..10.0, 3),
-    ) {
+#[test]
+fn knn_nearest_distances_sorted() {
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    for _ in 0..CASES {
+        let data = random_vec(&mut rng, 24, -10.0, 10.0);
+        let query = random_vec(&mut rng, 3, -10.0, 10.0);
         let points = Matrix::from_vec(8, 3, data).unwrap();
         let index = KnnIndex::fit(points).unwrap();
         let neighbors = index.nearest(&query, 8).unwrap();
         for w in neighbors.windows(2) {
-            prop_assert!(w[0].distance <= w[1].distance);
+            assert!(w[0].distance <= w[1].distance);
         }
     }
+}
 
-    #[test]
-    fn knn_prediction_within_target_hull(
-        data in proptest::collection::vec(-10.0f64..10.0, 20),
-        targets in proptest::collection::vec(0.0f64..100.0, 10),
-        query in proptest::collection::vec(-10.0f64..10.0, 2),
-        k in 1usize..10,
-    ) {
+#[test]
+fn knn_prediction_within_target_hull() {
+    let mut rng = StdRng::seed_from_u64(0xC6);
+    for _ in 0..CASES {
+        let data = random_vec(&mut rng, 20, -10.0, 10.0);
+        let targets = random_vec(&mut rng, 10, 0.0, 100.0);
+        let query = random_vec(&mut rng, 2, -10.0, 10.0);
+        let k = rng.gen_range(1..10usize);
         let points = Matrix::from_vec(10, 2, data).unwrap();
         let index = KnnIndex::fit(points).unwrap();
-        for weighting in [NeighborWeighting::Uniform, NeighborWeighting::InverseDistance] {
+        for weighting in [
+            NeighborWeighting::Uniform,
+            NeighborWeighting::InverseDistance,
+        ] {
             let p = index.predict(&query, k, &targets, weighting).unwrap();
             let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn kmedoids_assignments_point_to_nearest(
-        data in proptest::collection::vec(-50.0f64..50.0, 30),
-        k in 1usize..6,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn kmedoids_assignments_point_to_nearest() {
+    let mut rng = StdRng::seed_from_u64(0xC7);
+    for _ in 0..CASES {
+        let data = random_vec(&mut rng, 30, -50.0, 50.0);
+        let k = rng.gen_range(1..6usize);
+        let seed = rng.gen_range(0..100u64);
         let points = Matrix::from_vec(15, 2, data).unwrap();
         let result = k_medoids(&points, &KMedoidsConfig::new(k, seed)).unwrap();
-        prop_assert_eq!(result.medoids.len(), k);
+        assert_eq!(result.medoids.len(), k);
         for i in 0..15 {
             let own = result.medoids[result.assignments[i]];
             let d_own: f64 = (0..2)
@@ -122,31 +146,40 @@ proptest! {
                     .map(|j| (points[(i, j)] - points[(m, j)]).powi(2))
                     .sum::<f64>()
                     .sqrt();
-                prop_assert!(d_own <= d_m + 1e-9);
+                assert!(d_own <= d_m + 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn kfold_partitions(n in 4usize..40, k in 2usize..4, seed in 0u64..50) {
-        let k = k.min(n);
+#[test]
+fn kfold_partitions() {
+    let mut rng = StdRng::seed_from_u64(0xC8);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4..40usize);
+        let k = rng.gen_range(2..4usize).min(n);
+        let seed = rng.gen_range(0..50u64);
         let folds = k_fold(n, k, seed).unwrap();
         let mut count = vec![0usize; n];
         for f in &folds {
             for &i in &f.test {
                 count[i] += 1;
             }
-            prop_assert_eq!(f.train.len() + f.test.len(), n);
+            assert_eq!(f.train.len() + f.test.len(), n);
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
+        assert!(count.iter().all(|&c| c == 1));
     }
+}
 
-    #[test]
-    fn loo_covers_all(n in 2usize..30) {
+#[test]
+fn loo_covers_all() {
+    let mut rng = StdRng::seed_from_u64(0xC9);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..30usize);
         let folds = leave_one_out(n).unwrap();
-        prop_assert_eq!(folds.len(), n);
+        assert_eq!(folds.len(), n);
         for (i, f) in folds.iter().enumerate() {
-            prop_assert_eq!(&f.test, &vec![i]);
+            assert_eq!(&f.test, &vec![i]);
         }
     }
 }

@@ -1,0 +1,280 @@
+//! Deterministic pseudo-random numbers for the `datatrans` workspace.
+//!
+//! The workspace is fully dependency-free, so instead of the `rand` crate it
+//! uses this small module: a [xoshiro256++][xo] generator seeded through
+//! SplitMix64, exposed behind a `rand`-like API ([`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`], [`seq::SliceRandom`]) so call sites read idiomatically.
+//!
+//! Every stream is fully determined by its `u64` seed, which is what the
+//! reproduction needs: the paper's tables and figures must come out
+//! bit-identical run over run.
+//!
+//! [xo]: https://prng.di.unimi.it/
+//!
+//! # Example
+//!
+//! ```
+//! use datatrans_rng::rngs::StdRng;
+//! use datatrans_rng::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.gen_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+/// A source of raw random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits; 2^-53 scaling yields [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_in(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`.
+    fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let v = lo + (hi - lo) * rng.next_f64();
+        // Floating rounding can land exactly on `hi`; fold it back to the
+        // largest representable value below `hi` (>= lo since lo < hi).
+        if v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range {lo}..{hi}");
+                let span = (hi - lo) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is at most
+                // span/2^64, far below anything observable here.
+                let hi128 = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + hi128 as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Randomized slice operations.
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Extension trait adding randomized operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_in(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_in(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn usize_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_stays_in_slice() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn uniformity_smoke_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -3,6 +3,9 @@
 //! Used by the experiment harness to attach uncertainty to aggregate metrics
 //! (the paper reports point estimates only; the bootstrap is our extension).
 
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
+
 use crate::{Result, StatsError};
 
 /// A two-sided percentile bootstrap confidence interval.
@@ -16,33 +19,6 @@ pub struct ConfidenceInterval {
     pub upper: f64,
     /// Confidence level, e.g. `0.95`.
     pub level: f64,
-}
-
-/// Deterministic xorshift64* stream; avoids pulling `rand` into this crate.
-#[derive(Debug, Clone)]
-struct XorShift64 {
-    state: u64,
-}
-
-impl XorShift64 {
-    fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1),
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn next_index(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
 }
 
 /// Percentile bootstrap confidence interval for an arbitrary statistic.
@@ -92,12 +68,12 @@ pub fn bootstrap_ci(
         });
     }
     let estimate = statistic(data)?;
-    let mut rng = XorShift64::new(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = Vec::with_capacity(resamples);
     let mut scratch = vec![0.0; data.len()];
     for _ in 0..resamples {
         for slot in scratch.iter_mut() {
-            *slot = data[rng.next_index(data.len())];
+            *slot = data[rng.gen_range(0..data.len())];
         }
         if let Ok(s) = statistic(&scratch) {
             stats.push(s);
@@ -128,7 +104,7 @@ mod tests {
     #[test]
     fn ci_brackets_the_estimate() {
         let data: Vec<f64> = (1..=50).map(|i| i as f64).collect();
-        let ci = bootstrap_ci(&data, |s| mean(s), 1000, 0.95, 7).unwrap();
+        let ci = bootstrap_ci(&data, mean, 1000, 0.95, 7).unwrap();
         assert!(ci.lower <= ci.estimate);
         assert!(ci.estimate <= ci.upper);
         // The mean of 1..=50 is 25.5 and the CI should be reasonably tight.
@@ -139,25 +115,25 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
-        let a = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 11).unwrap();
-        let b = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 11).unwrap();
+        let a = bootstrap_ci(&data, mean, 200, 0.9, 11).unwrap();
+        let b = bootstrap_ci(&data, mean, 200, 0.9, 11).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
         let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
-        let a = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 11).unwrap();
-        let b = bootstrap_ci(&data, |s| mean(s), 200, 0.9, 12).unwrap();
+        let a = bootstrap_ci(&data, mean, 200, 0.9, 11).unwrap();
+        let b = bootstrap_ci(&data, mean, 200, 0.9, 12).unwrap();
         assert!(a.lower != b.lower || a.upper != b.upper);
     }
 
     #[test]
     fn validates_parameters() {
         let data = [1.0, 2.0];
-        assert!(bootstrap_ci(&[], |s| mean(s), 10, 0.9, 1).is_err());
-        assert!(bootstrap_ci(&data, |s| mean(s), 0, 0.9, 1).is_err());
-        assert!(bootstrap_ci(&data, |s| mean(s), 10, 1.0, 1).is_err());
-        assert!(bootstrap_ci(&data, |s| mean(s), 10, 0.0, 1).is_err());
+        assert!(bootstrap_ci(&[], mean, 10, 0.9, 1).is_err());
+        assert!(bootstrap_ci(&data, mean, 0, 0.9, 1).is_err());
+        assert!(bootstrap_ci(&data, mean, 10, 1.0, 1).is_err());
+        assert!(bootstrap_ci(&data, mean, 10, 0.0, 1).is_err());
     }
 }

@@ -46,7 +46,9 @@ pub fn mean_relative_error_pct(predicted: &[f64], actual: &[f64]) -> Result<f64>
         });
     }
     if predicted.is_empty() {
-        return Err(StatsError::Empty { what: "predictions" });
+        return Err(StatsError::Empty {
+            what: "predictions",
+        });
     }
     let mut sum = 0.0;
     for (&p, &a) in predicted.iter().zip(actual) {

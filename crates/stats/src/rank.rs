@@ -188,10 +188,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_nan() {
-        assert!(matches!(
-            rank_ascending(&[]),
-            Err(StatsError::Empty { .. })
-        ));
+        assert!(matches!(rank_ascending(&[]), Err(StatsError::Empty { .. })));
         assert!(matches!(
             rank_descending(&[1.0, f64::NAN]),
             Err(StatsError::NonFinite)

@@ -1,122 +1,176 @@
 //! Property-based tests for the statistics substrate.
+//!
+//! Randomized inputs come from the workspace's deterministic
+//! `datatrans-rng` generator (seeded per test), so failures are always
+//! reproducible.
 
+use datatrans_rng::rngs::StdRng;
+use datatrans_rng::{Rng, SeedableRng};
 use datatrans_stats::correlation::{kendall, pearson, r_squared, spearman};
 use datatrans_stats::error_metrics::{top1_error_pct, topn_error_pct};
 use datatrans_stats::rank::{argsort_descending, rank_ascending, rank_descending};
 use datatrans_stats::summary::{geometric_mean, harmonic_mean, mean};
-use proptest::prelude::*;
 
-fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1000.0f64..1000.0, len)
+const CASES: usize = 128;
+
+fn finite_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-1000.0..1000.0)).collect()
 }
 
-fn positive_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.001f64..1000.0, len)
+fn positive_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(0.001..1000.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn rank_sum_invariant(xs in finite_vec(12)) {
+#[test]
+fn rank_sum_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 12);
         let n = xs.len() as f64;
         let sum: f64 = rank_ascending(&xs).unwrap().iter().sum();
-        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn ascending_descending_ranks_mirror(xs in finite_vec(9)) {
+#[test]
+fn ascending_descending_ranks_mirror() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 9);
         let asc = rank_ascending(&xs).unwrap();
         let desc = rank_descending(&xs).unwrap();
         let n = xs.len() as f64;
         for (a, d) in asc.iter().zip(&desc) {
-            prop_assert!((a + d - (n + 1.0)).abs() < 1e-9);
+            assert!((a + d - (n + 1.0)).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn argsort_descending_is_sorted(xs in finite_vec(10)) {
+#[test]
+fn argsort_descending_is_sorted() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 10);
         let order = argsort_descending(&xs).unwrap();
         for w in order.windows(2) {
-            prop_assert!(xs[w[0]] >= xs[w[1]]);
+            assert!(xs[w[0]] >= xs[w[1]]);
         }
     }
+}
 
-    #[test]
-    fn correlations_bounded(xs in finite_vec(8), ys in finite_vec(8)) {
+#[test]
+fn correlations_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 8);
+        let ys = finite_vec(&mut rng, 8);
         if let Ok(r) = pearson(&xs, &ys) {
-            prop_assert!((-1.0..=1.0).contains(&r));
+            assert!((-1.0..=1.0).contains(&r));
         }
         if let Ok(rho) = spearman(&xs, &ys) {
-            prop_assert!((-1.0..=1.0).contains(&rho));
+            assert!((-1.0..=1.0).contains(&rho));
         }
         if let Ok(tau) = kendall(&xs, &ys) {
-            prop_assert!((-1.0..=1.0).contains(&tau));
+            assert!((-1.0..=1.0).contains(&tau));
         }
     }
+}
 
-    #[test]
-    fn spearman_invariant_under_monotone_map(xs in finite_vec(8)) {
+#[test]
+fn spearman_invariant_under_monotone_map() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 8);
         // exp is strictly monotone; Spearman must not change.
         let ys: Vec<f64> = xs.iter().map(|x| (x / 500.0).exp()).collect();
         if let (Ok(a), Ok(b)) = (spearman(&xs, &xs), spearman(&xs, &ys)) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn spearman_symmetric(xs in finite_vec(7), ys in finite_vec(7)) {
+#[test]
+fn spearman_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 7);
+        let ys = finite_vec(&mut rng, 7);
         if let (Ok(a), Ok(b)) = (spearman(&xs, &ys), spearman(&ys, &xs)) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn self_correlation_is_one(xs in finite_vec(6)) {
+#[test]
+fn self_correlation_is_one() {
+    let mut rng = StdRng::seed_from_u64(0xB7);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 6);
         if let Ok(r) = pearson(&xs, &xs) {
-            prop_assert!((r - 1.0).abs() < 1e-9);
+            assert!((r - 1.0).abs() < 1e-9);
         }
         if let Ok(rho) = spearman(&xs, &xs) {
-            prop_assert!((rho - 1.0).abs() < 1e-9);
+            assert!((rho - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn r_squared_of_actual_is_one(xs in finite_vec(6)) {
+#[test]
+fn r_squared_of_actual_is_one() {
+    let mut rng = StdRng::seed_from_u64(0xB8);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 6);
         if let Ok(r2) = r_squared(&xs, &xs) {
-            prop_assert!((r2 - 1.0).abs() < 1e-9);
+            assert!((r2 - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn mean_inequalities(xs in positive_vec(10)) {
+#[test]
+fn mean_inequalities() {
+    let mut rng = StdRng::seed_from_u64(0xB9);
+    for _ in 0..CASES {
+        let xs = positive_vec(&mut rng, 10);
         let h = harmonic_mean(&xs).unwrap();
         let g = geometric_mean(&xs).unwrap();
         let a = mean(&xs).unwrap();
-        prop_assert!(h <= g + 1e-9);
-        prop_assert!(g <= a + 1e-9);
+        assert!(h <= g + 1e-9);
+        assert!(g <= a + 1e-9);
     }
+}
 
-    #[test]
-    fn top1_error_nonnegative_and_zero_for_oracle(actual in positive_vec(9)) {
+#[test]
+fn top1_error_zero_for_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xBA);
+    for _ in 0..CASES {
         // Oracle prediction (the actual scores) has zero top-1 error.
-        prop_assert_eq!(top1_error_pct(&actual, &actual).unwrap(), 0.0);
+        let actual = positive_vec(&mut rng, 9);
+        assert_eq!(top1_error_pct(&actual, &actual).unwrap(), 0.0);
     }
+}
 
-    #[test]
-    fn top1_error_nonnegative(pred in positive_vec(9), actual in positive_vec(9)) {
-        let e = top1_error_pct(&pred, &actual).unwrap();
-        prop_assert!(e >= 0.0);
+#[test]
+fn top1_error_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(0xBB);
+    for _ in 0..CASES {
+        let pred = positive_vec(&mut rng, 9);
+        let actual = positive_vec(&mut rng, 9);
+        assert!(top1_error_pct(&pred, &actual).unwrap() >= 0.0);
     }
+}
 
-    #[test]
-    fn topn_error_monotone_in_n(pred in positive_vec(7), actual in positive_vec(7)) {
+#[test]
+fn topn_error_monotone_in_n() {
+    let mut rng = StdRng::seed_from_u64(0xBC);
+    for _ in 0..CASES {
+        let pred = positive_vec(&mut rng, 7);
+        let actual = positive_vec(&mut rng, 7);
         let mut last = f64::INFINITY;
         for n in 1..=7 {
             let e = topn_error_pct(&pred, &actual, n).unwrap();
-            prop_assert!(e <= last + 1e-9);
+            assert!(e <= last + 1e-9);
             last = e;
         }
-        prop_assert_eq!(topn_error_pct(&pred, &actual, 7).unwrap(), 0.0);
+        assert_eq!(topn_error_pct(&pred, &actual, 7).unwrap(), 0.0);
     }
 }

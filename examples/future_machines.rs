@@ -15,9 +15,11 @@ use datatrans::experiments::ExperimentConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A reduced-budget config keeps this example snappy; the full
     // reproduction lives in `repro table3`.
-    let mut config = ExperimentConfig::default();
-    config.mlp_epochs = 300;
-    config.ga_generations = 20;
+    let config = ExperimentConfig {
+        mlp_epochs: 300,
+        ga_generations: 20,
+        ..ExperimentConfig::default()
+    };
 
     let db = config.build_database()?;
     let methods = config.methods();
@@ -50,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let agg = report.aggregate_method_fold(&method, &era)?;
             println!(
                 "{:<10} {:>10} {:>16.3} {:>11.1}% {:>11.1}%",
-                method, era, agg.mean_rank_correlation, agg.mean_top1_error_pct,
-                agg.mean_error_pct
+                method, era, agg.mean_rank_correlation, agg.mean_top1_error_pct, agg.mean_error_pct
             );
         }
         println!();

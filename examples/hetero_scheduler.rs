@@ -6,9 +6,7 @@
 //! cargo run --release --example hetero_scheduler
 //! ```
 
-use datatrans::core::apps::scheduler::{
-    schedule_jobs, schedule_oracle, schedule_round_robin,
-};
+use datatrans::core::apps::scheduler::{schedule_jobs, schedule_oracle, schedule_round_robin};
 use datatrans::core::model::MlpT;
 use datatrans::core::select::select_k_medoids;
 use datatrans::dataset::generator::{generate, DatasetConfig};
@@ -38,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\njob mix: {} jobs across 5 workload profiles", jobs.len());
 
     // Predictive machines for the transposition model.
-    let pool: Vec<usize> = (0..db.n_machines()).filter(|m| !nodes.contains(m)).collect();
+    let pool: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !nodes.contains(m))
+        .collect();
     let predictive = select_k_medoids(&db, &pool, 5, 3)?;
 
     let predicted = schedule_jobs(&db, &jobs, &predictive, &nodes, &MlpT::default(), 11)?;
@@ -46,13 +46,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let naive = schedule_round_robin(&db, &jobs, &nodes)?;
 
     println!("\nmakespan (actual execution time of the critical node):");
-    println!("  round-robin (performance-blind): {:>9.1} s", naive.makespan_s);
-    println!("  MLP^T-predicted scheduling:      {:>9.1} s", predicted.makespan_s);
-    println!("  oracle (true times):             {:>9.1} s", oracle.makespan_s);
+    println!(
+        "  round-robin (performance-blind): {:>9.1} s",
+        naive.makespan_s
+    );
+    println!(
+        "  MLP^T-predicted scheduling:      {:>9.1} s",
+        predicted.makespan_s
+    );
+    println!(
+        "  oracle (true times):             {:>9.1} s",
+        oracle.makespan_s
+    );
     println!(
         "\nprediction-driven scheduling recovers {:.0}% of the oracle's advantage over round-robin",
-        (naive.makespan_s - predicted.makespan_s) / (naive.makespan_s - oracle.makespan_s)
-            * 100.0
+        (naive.makespan_s - predicted.makespan_s) / (naive.makespan_s - oracle.makespan_s) * 100.0
     );
 
     // Show where the predicted schedule placed each job class.

@@ -10,10 +10,12 @@ use datatrans::dataset::machine::ProcessorFamily;
 use datatrans::experiments::ExperimentConfig;
 
 fn reduced_methods() -> Vec<Box<dyn Predictor + Send + Sync>> {
-    let mut config = ExperimentConfig::default();
-    config.mlp_epochs = 200;
-    config.ga_population = 16;
-    config.ga_generations = 12;
+    let config = ExperimentConfig {
+        mlp_epochs: 200,
+        ga_population: 16,
+        ga_generations: 12,
+        ..ExperimentConfig::default()
+    };
     config.methods()
 }
 
@@ -96,8 +98,7 @@ fn kmedoids_selection_beats_random_at_small_k() {
     .expect("curve");
     let mean_kmedoids: f64 =
         points.iter().map(|p| p.kmedoids_r2).sum::<f64>() / points.len() as f64;
-    let mean_random: f64 =
-        points.iter().map(|p| p.random_r2).sum::<f64>() / points.len() as f64;
+    let mean_random: f64 = points.iter().map(|p| p.random_r2).sum::<f64>() / points.len() as f64;
     assert!(
         mean_kmedoids > mean_random,
         "k-medoids {mean_kmedoids:.3} should beat random {mean_random:.3}"

@@ -94,3 +94,140 @@ fn different_dataset_seeds_give_different_worlds() {
         assert_eq!(ma.year, mb.year);
     }
 }
+
+/// Naive reference NNᵀ, reimplementing the *pre-refactor* pipeline end to
+/// end: predictive and target columns gathered into owned `Vec<f64>`
+/// buffers (the production path now reads strided matrix views), and the
+/// regression computed with the seed's original three-pass OLS — explicit
+/// residual sum rather than the algebraic `ss_res = syy − slope·sxy`
+/// shortcut the production `fit_pairs` uses. The production path must
+/// agree bit-for-bit on every prediction.
+fn nnt_reference(task: &PredictionTask) -> Vec<f64> {
+    /// The seed's `SimpleLinearRegression::fit`, verbatim math.
+    fn ols_r2(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+        let n = x.len() as f64;
+        if x.len() < 2 {
+            return None;
+        }
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+        for (&xi, &yi) in x.iter().zip(y) {
+            sxx += (xi - mx) * (xi - mx);
+            sxy += (xi - mx) * (yi - my);
+            syy += (yi - my) * (yi - my);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_res: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(&xi, &yi)| {
+                let e = yi - (slope * xi + intercept);
+                e * e
+            })
+            .sum();
+        let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+        Some((slope, intercept, r_squared))
+    }
+
+    let b = task.train_predictive.rows();
+    let p = task.train_predictive.cols();
+    let t = task.train_target.cols();
+    let pred_cols: Vec<Vec<f64>> = (0..p)
+        .map(|j| (0..b).map(|i| task.train_predictive[(i, j)]).collect())
+        .collect();
+    let mut out = Vec::with_capacity(t);
+    for tj in 0..t {
+        let y: Vec<f64> = (0..b).map(|i| task.train_target[(i, tj)]).collect();
+        let mut best: Option<(f64, f64, f64)> = None; // (r², slope, intercept)
+        let mut best_pj = 0;
+        for (pj, x) in pred_cols.iter().enumerate() {
+            let Some((slope, intercept, r_squared)) = ols_r2(x, &y) else {
+                continue;
+            };
+            if best.is_none_or(|(q, _, _)| r_squared > q) {
+                best = Some((r_squared, slope, intercept));
+                best_pj = pj;
+            }
+        }
+        let (_, slope, intercept) = best.expect("some fit");
+        out.push((slope * task.app_predictive[best_pj] + intercept).max(1e-6));
+    }
+    out
+}
+
+#[test]
+fn nnt_view_path_matches_naive_reference_bitwise() {
+    let task = task_with_seed(5);
+    let view_path = NnT::default().predict(&task).expect("view path");
+    let reference = nnt_reference(&task);
+    assert_eq!(view_path.len(), reference.len());
+    for (v, r) in view_path.iter().zip(&reference) {
+        assert_eq!(v.to_bits(), r.to_bits(), "view {v} != reference {r}");
+    }
+}
+
+/// Golden snapshot: predictions on the standard Phenom fold are pinned to
+/// within 4 ULP of recorded constants. A refactor of the predict paths
+/// (views, scratch buffers, layout changes) must stay inside that band;
+/// regenerate the constants only for an intentional algorithm change.
+///
+/// Why not bit-exact: the predictions flow through libm transcendentals
+/// (`exp`/`ln`), which are not correctly rounded — results shift by an ULP
+/// across libm implementations and even glibc versions. The 4-ULP band
+/// absorbs that environment noise while still failing loudly on any real
+/// behavioral change (selection flips, scaling bugs, and layout mistakes
+/// move results by orders of magnitude more). Gated to x86-64 linux-gnu,
+/// where the constants were recorded. The fully platform-independent
+/// equivalence check is `nnt_view_path_matches_naive_reference_bitwise`
+/// above.
+#[cfg(all(target_arch = "x86_64", target_os = "linux", target_env = "gnu"))]
+#[test]
+fn predictions_match_golden_snapshot() {
+    let task = task_with_seed(5);
+    let cases: [(&dyn Predictor, [u64; 3]); 3] = [
+        (
+            &NnT::default(),
+            [
+                4626594944019345301,
+                4626377182190019793,
+                4626440446221126714,
+            ],
+        ),
+        (
+            &MlpT::default(),
+            [
+                4626876539061062926,
+                4626524893460333630,
+                4626494851177474710,
+            ],
+        ),
+        (
+            &GaKnn::default(),
+            [
+                4625968319913743829,
+                4625760328688650107,
+                4625589135947926844,
+            ],
+        ),
+    ];
+    for (method, golden) in cases {
+        let p = method.predict(&task).expect("prediction");
+        let bits: Vec<u64> = p.iter().take(3).map(|v| v.to_bits()).collect();
+        let max_ulp = bits
+            .iter()
+            .zip(&golden)
+            .map(|(&b, &g)| b.abs_diff(g))
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_ulp <= 4,
+            "{} drifted {max_ulp} ULP from golden snapshot: {bits:?} vs {golden:?}",
+            method.name()
+        );
+    }
+}

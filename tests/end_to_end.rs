@@ -17,8 +17,8 @@ fn family_task(
         .filter(|m| !targets.contains(m))
         .collect();
     let app = db.benchmark_index(app_name).expect("app exists");
-    let task = PredictionTask::leave_one_out(db, app, &predictive, &targets, 99)
-        .expect("valid task");
+    let task =
+        PredictionTask::leave_one_out(db, app, &predictive, &targets, 99).expect("valid task");
     let actual = PredictionTask::actual_scores(db, app, &targets);
     (task, actual)
 }
