@@ -1,15 +1,19 @@
 //! Micro-benchmarks of the numerical kernels underpinning the pipeline:
 //! the three predictors on one task, dataset generation, Spearman,
-//! k-medoids, QR least squares, and MLP training.
+//! k-medoids, QR least squares, MLP training, the GA-kNN fitness loop,
+//! top-k neighbour selection vs a full sort, and the parallel executor's
+//! thread scaling.
 
-use datatrans_bench::harness::{criterion_group, criterion_main, Criterion};
+use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_task};
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use datatrans_dataset::generator::{generate, DatasetConfig};
 use datatrans_linalg::{solve::lstsq, Matrix};
 use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
-use datatrans_ml::ga::GaConfig;
+use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
+use datatrans_ml::knn::{select_k_nearest, KnnIndex, Neighbor};
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
+use datatrans_parallel::Parallelism;
 use datatrans_stats::correlation::spearman;
 
 fn bench_predictors(c: &mut Criterion) {
@@ -32,6 +36,9 @@ fn bench_predictors(c: &mut Criterion) {
                 ga: GaConfig {
                     population: 32,
                     generations: 40,
+                    // Single-thread kernel measurement; threading is
+                    // covered by the parallel_scaling group.
+                    parallelism: Parallelism::Sequential,
                     ..GaConfig::default_seeded(0)
                 },
                 ..GaKnnConfig::default()
@@ -86,5 +93,149 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_predictors, bench_substrates);
+/// The GA-kNN fitness loop in isolation: a GA over a synthetic
+/// leave-one-out-style objective whose cost per genome matches the real
+/// `loo_error` shape (b benchmarks × d characteristic dims).
+fn bench_ga_fitness(c: &mut Criterion) {
+    let b = 28;
+    let d = 24;
+    // Synthetic standardized pairwise squared differences, row i*b+j.
+    let sq_diffs = Matrix::from_fn(b * b, d, |r, dim| {
+        (((r * 31 + dim * 7) % 17) as f64) * 0.125
+    });
+    let loo_like = move |weights: &[f64]| -> f64 {
+        let mut total = 0.0;
+        for held in 0..b {
+            let mut best = f64::INFINITY;
+            for other in 0..b {
+                if other == held {
+                    continue;
+                }
+                let dist: f64 = (0..d)
+                    .map(|dim| weights[dim] * sq_diffs[(held * b + other, dim)])
+                    .sum();
+                best = best.min(dist);
+            }
+            total += best.sqrt();
+        }
+        -total
+    };
+
+    let mut group = c.benchmark_group("ga_fitness");
+    group.sample_size(10);
+    group.bench_function("loo_like_32x20_seq", |bch| {
+        let config = GaConfig {
+            population: 32,
+            generations: 20,
+            parallelism: Parallelism::Sequential,
+            ..GaConfig::default_seeded(5)
+        };
+        let ga = GeneticAlgorithm::new(d, (0.0, 1.0), config).expect("ga");
+        bch.iter(|| std::hint::black_box(ga.run(&loo_like).best_fitness))
+    });
+    group.bench_function("gaknn_predict_16x10", |bch| {
+        let db = bench_database();
+        let task = bench_task(&db);
+        let gaknn = GaKnn {
+            config: GaKnnConfig {
+                ga: GaConfig {
+                    population: 16,
+                    generations: 10,
+                    parallelism: Parallelism::Sequential,
+                    ..GaConfig::default_seeded(0)
+                },
+                ..GaKnnConfig::default()
+            },
+        };
+        bch.iter(|| std::hint::black_box(gaknn.predict(&task).expect("gaknn")))
+    });
+    group.finish();
+}
+
+/// Top-k selection (`select_nth_unstable_by` + sort of the k survivors)
+/// against the full `sort_by` it replaced, at the b values the GA-kNN
+/// leave-one-out loop sees and above.
+fn bench_knn_topk(c: &mut Criterion) {
+    let k = 10;
+    let mut group = c.benchmark_group("knn_topk");
+    group.sample_size(30);
+    for b in [64usize, 256, 1024] {
+        let make = || -> Vec<Neighbor> {
+            (0..b)
+                .map(|i| Neighbor {
+                    index: i,
+                    distance: (((i * 2654435761) % 1_000_003) as f64) * 1e-6,
+                })
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("topk", b), &b, |bch, _| {
+            bch.iter(|| {
+                let mut n = make();
+                select_k_nearest(&mut n, k);
+                std::hint::black_box(n.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fullsort", b), &b, |bch, _| {
+            bch.iter(|| {
+                let mut n = make();
+                n.sort_by(|a, b| {
+                    a.distance
+                        .total_cmp(&b.distance)
+                        .then(a.index.cmp(&b.index))
+                });
+                n.truncate(k);
+                std::hint::black_box(n.len())
+            })
+        });
+    }
+    // The same comparison on the real query path.
+    let points = Matrix::from_fn(256, 16, |i, j| (((i * 29 + j * 13) % 101) as f64) * 0.07);
+    let index = KnnIndex::fit(points).expect("index");
+    let query: Vec<f64> = (0..16).map(|j| (j as f64 * 0.41).cos() * 3.0).collect();
+    group.bench_function("knn_index_nearest_b256_k10", |bch| {
+        bch.iter(|| std::hint::black_box(index.nearest(&query, k).expect("nearest")))
+    });
+    group.finish();
+}
+
+/// GA-kNN fitness evaluation at 1/2/4 worker threads. On multi-core
+/// hardware the 4-thread run should be at least ~2× the 1-thread run;
+/// `Threads(1)` resolves to the inline sequential path, so the comparison
+/// includes zero spawn overhead on the baseline.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let db = bench_database();
+    let task = bench_task(&db);
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("gaknn_fitness_threads", threads),
+            &threads,
+            |bch, &threads| {
+                let gaknn = GaKnn {
+                    config: GaKnnConfig {
+                        ga: GaConfig {
+                            population: 32,
+                            generations: 10,
+                            parallelism: Parallelism::Threads(threads),
+                            ..GaConfig::default_seeded(0)
+                        },
+                        ..GaKnnConfig::default()
+                    },
+                };
+                bch.iter(|| std::hint::black_box(gaknn.predict(&task).expect("gaknn")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictors,
+    bench_substrates,
+    bench_ga_fitness,
+    bench_knn_topk,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

@@ -14,6 +14,11 @@
 //! predictors/nnt_predict  median 1.234 ms  (min 1.200 ms .. max 1.400 ms, 10 samples)
 //! ```
 //!
+//! and are additionally written as machine-readable JSON (one
+//! `BENCH_<bench>.json` per bench binary, overridable via the
+//! `DATATRANS_BENCH_JSON` environment variable) so the perf trajectory can
+//! be tracked across commits.
+//!
 //! [`criterion_group!`]: crate::criterion_group
 //! [`criterion_main!`]: crate::criterion_main
 
@@ -25,12 +30,28 @@ const WARMUP_BUDGET: Duration = Duration::from_millis(300);
 /// Maximum time spent measuring one benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_secs(3);
 
+/// One measured benchmark, as recorded for the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full `group/name` benchmark id.
+    pub id: String,
+    /// Median sample, in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample, in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// Top-level benchmark driver, passed to every `criterion_group!` function.
 #[derive(Debug, Default)]
 pub struct Criterion {
     filter: Option<String>,
     ran: usize,
     skipped: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
@@ -65,8 +86,7 @@ impl Criterion {
         }
         Criterion {
             filter,
-            ran: 0,
-            skipped: 0,
+            ..Criterion::default()
         }
     }
 
@@ -86,12 +106,54 @@ impl Criterion {
         group.finish();
     }
 
-    /// Prints the run/skip totals. Called by `criterion_main!`.
+    /// Prints the run/skip totals and writes the JSON report. Called by
+    /// `criterion_main!`.
+    ///
+    /// A filtered run measures only a subset of the suite, so it would
+    /// clobber the committed full report with a partial one — the default
+    /// `BENCH_<bench>.json` is only written for unfiltered runs. Setting
+    /// `DATATRANS_BENCH_JSON` explicitly always writes to that path.
     pub fn final_summary(&self) {
         println!(
             "\n{} benchmark(s) run, {} filtered out",
             self.ran, self.skipped
         );
+        if self.records.is_empty() {
+            return;
+        }
+        let explicit_path = explicit_json_path();
+        if self.filter.is_some() && explicit_path.is_none() {
+            println!("(filtered run; JSON report not written — set DATATRANS_BENCH_JSON to force)");
+            return;
+        }
+        let path = explicit_path.unwrap_or_else(default_json_path);
+        match std::fs::write(&path, self.json_report()) {
+            Ok(()) => println!("results written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+
+    /// All benchmark records measured so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// The machine-readable report for every benchmark run so far.
+    pub fn json_report(&self) -> String {
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{comma}\n",
+                json_escape(&r.id),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     fn matches(&self, id: &str) -> bool {
@@ -131,7 +193,13 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         self.criterion.ran += 1;
-        bencher.report(&id);
+        match bencher.record(&id) {
+            Some(record) => {
+                print_record(&record);
+                self.criterion.records.push(record);
+            }
+            None => println!("{id:<44} (no samples — closure never called iter)"),
+        }
     }
 
     /// Runs one parameterized benchmark, Criterion-style.
@@ -203,24 +271,74 @@ impl Bencher {
         }
     }
 
-    fn report(&self, id: &str) {
+    /// Summarizes the samples into a [`BenchRecord`], if any were taken.
+    fn record(&self, id: &str) -> Option<BenchRecord> {
         if self.samples.is_empty() {
-            println!("{id:<44} (no samples — closure never called iter)");
-            return;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort();
-        let median = sorted[sorted.len() / 2];
-        let min = sorted[0];
-        let max = sorted[sorted.len() - 1];
-        println!(
-            "{id:<44} median {:>10}  (min {} .. max {}, {} samples)",
-            fmt_duration(median),
-            fmt_duration(min),
-            fmt_duration(max),
-            sorted.len()
-        );
+        Some(BenchRecord {
+            id: id.to_owned(),
+            median_ns: sorted[sorted.len() / 2].as_nanos(),
+            min_ns: sorted[0].as_nanos(),
+            max_ns: sorted[sorted.len() - 1].as_nanos(),
+            samples: sorted.len(),
+        })
     }
+}
+
+/// Prints the one-line human-readable summary of a measured benchmark.
+fn print_record(r: &BenchRecord) {
+    println!(
+        "{:<44} median {:>10}  (min {} .. max {}, {} samples)",
+        r.id,
+        fmt_duration(Duration::from_nanos(r.median_ns as u64)),
+        fmt_duration(Duration::from_nanos(r.min_ns as u64)),
+        fmt_duration(Duration::from_nanos(r.max_ns as u64)),
+        r.samples
+    );
+}
+
+/// The `DATATRANS_BENCH_JSON` override path, if set to a non-empty value.
+fn explicit_json_path() -> Option<String> {
+    std::env::var("DATATRANS_BENCH_JSON")
+        .ok()
+        .filter(|p| !p.trim().is_empty())
+}
+
+/// Default JSON report path: `BENCH_<bench>.json` in the working directory
+/// (cargo runs benches from the package root), with `<bench>` derived from
+/// the bench binary's file stem (cargo appends `-<hash>`, which is
+/// stripped).
+fn default_json_path() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_owned());
+    format!("BENCH_{}.json", strip_cargo_hash(&stem))
+}
+
+/// Strips cargo's trailing `-<16 hex chars>` disambiguation hash.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name
+        }
+        _ => stem,
+    }
+}
+
+/// Escapes a benchmark id for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -304,6 +422,46 @@ mod tests {
         // Only the first positional arg wins.
         let c = Criterion::from_arg_list(to_args(&["a", "b"]).into_iter());
         assert_eq!(c.filter.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn records_and_json_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        assert_eq!(c.records().len(), 1);
+        let r = &c.records()[0];
+        assert_eq!(r.id, "g/f");
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.samples >= 1);
+        let json = c.json_report();
+        assert!(json.contains("\"id\": \"g/f\""));
+        assert!(json.contains("\"median_ns\": "));
+        // Filtered-out benches leave no record.
+        let mut filtered = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        filtered.bench_function("something", |b| b.iter(|| 1));
+        assert!(filtered.records().is_empty());
+    }
+
+    #[test]
+    fn cargo_hash_stripping() {
+        assert_eq!(strip_cargo_hash("micro-0123456789abcdef"), "micro");
+        assert_eq!(strip_cargo_hash("micro"), "micro");
+        assert_eq!(strip_cargo_hash("fig6_fig7-00ffCC1122334455"), "fig6_fig7");
+        // Not a 16-hex suffix: left alone.
+        assert_eq!(strip_cargo_hash("some-bench"), "some-bench");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain/id"), "plain/id");
+        assert_eq!(json_escape("q\"uote\\"), "q\\\"uote\\\\");
+        assert_eq!(json_escape("tab\tend"), "tab\\u0009end");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use datatrans_dataset::database::PerfDatabase;
 use datatrans_dataset::machine::ProcessorFamily;
+use datatrans_parallel::Parallelism;
 
 use crate::eval::{CvCell, CvReport};
 use crate::model::Predictor;
@@ -23,8 +24,9 @@ pub struct FamilyCvConfig {
     pub families: Option<Vec<ProcessorFamily>>,
     /// Restrict to these application benchmark indices (`None` = all 29).
     pub apps: Option<Vec<usize>>,
-    /// Evaluate folds on worker threads.
-    pub parallel: bool,
+    /// Worker threads for the fold fan-out. Cells come back in the same
+    /// order at any thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FamilyCvConfig {
@@ -33,7 +35,7 @@ impl Default for FamilyCvConfig {
             seed: 0x5EED,
             families: None,
             apps: None,
-            parallel: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -106,24 +108,11 @@ pub fn family_cross_validation(
     };
 
     let mut report = CvReport::default();
-    if config.parallel {
-        let results: Vec<Result<Vec<CvCell>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = families
-                .iter()
-                .map(|&family| scope.spawn(move || run_fold(family)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fold worker panicked"))
-                .collect()
-        });
-        for r in results {
-            report.cells.extend(r?);
-        }
-    } else {
-        for &family in &families {
-            report.cells.extend(run_fold(family)?);
-        }
+    let results: Vec<Result<Vec<CvCell>>> = config
+        .parallelism
+        .par_map(2, &families, |&family| run_fold(family));
+    for r in results {
+        report.cells.extend(r?);
     }
     Ok(report)
 }
@@ -147,7 +136,7 @@ mod tests {
         let config = FamilyCvConfig {
             families: Some(vec![ProcessorFamily::Xeon, ProcessorFamily::OpteronK10]),
             apps: Some(vec![0, 5]),
-            parallel: false,
+            parallelism: Parallelism::Sequential,
             ..FamilyCvConfig::default()
         };
         let report = family_cross_validation(&db, &quick_methods(), &config).unwrap();
@@ -170,26 +159,24 @@ mod tests {
         let base = FamilyCvConfig {
             families: Some(vec![ProcessorFamily::Power6, ProcessorFamily::CoreDuo]),
             apps: Some(vec![3]),
-            parallel: false,
+            parallelism: Parallelism::Sequential,
             ..FamilyCvConfig::default()
         };
         let seq = family_cross_validation(&db, &quick_methods(), &base).unwrap();
-        let par = family_cross_validation(
-            &db,
-            &quick_methods(),
-            &FamilyCvConfig {
-                parallel: true,
-                ..base
-            },
-        )
-        .unwrap();
-        // Same cells, possibly different fold order: compare sorted.
-        let key = |c: &CvCell| (c.fold.clone(), c.app.clone(), c.method.clone());
-        let mut a = seq.cells.clone();
-        let mut b = par.cells.clone();
-        a.sort_by_key(key);
-        b.sort_by_key(key);
-        assert_eq!(a, b);
+        for threads in [2, 4] {
+            let par = family_cross_validation(
+                &db,
+                &quick_methods(),
+                &FamilyCvConfig {
+                    parallelism: Parallelism::Threads(threads),
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            // The executor merges fold results back in input order, so the
+            // reports are identical cell for cell.
+            assert_eq!(seq.cells, par.cells, "{threads} threads");
+        }
     }
 
     #[test]

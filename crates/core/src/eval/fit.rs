@@ -12,6 +12,7 @@
 //! the sweep, where a strict residual-based R² degenerates.
 
 use datatrans_dataset::database::PerfDatabase;
+use datatrans_parallel::Parallelism;
 use datatrans_stats::correlation::pearson;
 
 use crate::model::{MlpT, Predictor};
@@ -32,6 +33,9 @@ pub struct FitCurveConfig {
     pub apps: Option<Vec<usize>>,
     /// Target release year.
     pub target_year: u16,
+    /// Worker threads for the random-draw fan-out at each `k`. The curve
+    /// is identical at any thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FitCurveConfig {
@@ -42,6 +46,7 @@ impl Default for FitCurveConfig {
             random_trials: 50,
             apps: None,
             target_year: 2009,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -95,15 +100,24 @@ pub fn goodness_of_fit_curve(
         let medoids = select_k_medoids(db, &pool, k, medoid_seed)?;
         let kmedoids_r2 = pooled_r2(db, &medoids, &targets, &apps, medoid_seed)?;
 
+        // Each trial derives its own seed, so the draws fan out across the
+        // executor; summing the collected values in trial order keeps the
+        // float accumulation identical to the sequential loop.
+        let trial_r2s: Vec<Result<f64>> =
+            config
+                .parallelism
+                .par_map_indexed(2, config.random_trials, |trial| {
+                    let draw_seed = config
+                        .seed
+                        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                        .wrapping_add((k as u64) << 32)
+                        .wrapping_add(trial as u64);
+                    let machines = select_random(&pool, k, draw_seed)?;
+                    pooled_r2(db, &machines, &targets, &apps, draw_seed)
+                });
         let mut random_sum = 0.0;
-        for trial in 0..config.random_trials {
-            let draw_seed = config
-                .seed
-                .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                .wrapping_add((k as u64) << 32)
-                .wrapping_add(trial as u64);
-            let machines = select_random(&pool, k, draw_seed)?;
-            random_sum += pooled_r2(db, &machines, &targets, &apps, draw_seed)?;
+        for r2 in trial_r2s {
+            random_sum += r2?;
         }
         points.push(FitCurvePoint {
             k,

@@ -6,6 +6,7 @@
 //! several trials.
 
 use datatrans_dataset::database::PerfDatabase;
+use datatrans_parallel::Parallelism;
 
 use crate::eval::{CvCell, CvReport};
 use crate::model::Predictor;
@@ -28,6 +29,9 @@ pub struct SubsetConfig {
     /// Target release year (the paper uses 2009; predictive pool is the
     /// prior year).
     pub target_year: u16,
+    /// Worker threads for the (size × trial) fan-out. Cells come back in
+    /// the same order at any thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SubsetConfig {
@@ -38,6 +42,7 @@ impl Default for SubsetConfig {
             trials: 5,
             apps: None,
             target_year: 2009,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -74,7 +79,6 @@ pub fn subset_evaluation(
         .clone()
         .unwrap_or_else(|| (0..db.n_benchmarks()).collect());
 
-    let mut report = CvReport::default();
     for &size in &config.sizes {
         if size == 0 || size > pool.len() {
             return Err(CoreError::invalid_task(format!(
@@ -82,34 +86,48 @@ pub fn subset_evaluation(
                 pool.len()
             )));
         }
-        for trial in 0..config.trials {
-            let draw_seed = config
-                .seed
-                .wrapping_mul(0xA076_1D64_78BD_642F)
-                .wrapping_add((size as u64) << 32)
-                .wrapping_add(trial as u64);
-            let predictive = select_random(&pool, size, draw_seed)?;
-            for &app in &apps {
-                let task = PredictionTask::leave_one_out(
-                    db,
-                    app,
-                    &predictive,
-                    &targets,
-                    draw_seed ^ (app as u64),
-                )?;
-                let actual = PredictionTask::actual_scores(db, app, &targets);
-                for method in methods {
-                    let predicted = method.predict(&task)?;
-                    let metrics = EvalMetrics::compute(&predicted, &actual)?;
-                    report.cells.push(CvCell {
-                        fold: format!("size-{size}"),
-                        app: db.benchmarks()[app].name.clone(),
-                        method: method.name().to_owned(),
-                        metrics,
-                    });
-                }
+    }
+
+    // Fan the (size × trial) grid out across the executor; each draw has
+    // its own derived seed, so the cells are order-independent.
+    let run_draw = |size: usize, trial: usize| -> Result<Vec<CvCell>> {
+        let draw_seed = config
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add((size as u64) << 32)
+            .wrapping_add(trial as u64);
+        let predictive = select_random(&pool, size, draw_seed)?;
+        let mut cells = Vec::with_capacity(apps.len() * methods.len());
+        for &app in &apps {
+            let task = PredictionTask::leave_one_out(
+                db,
+                app,
+                &predictive,
+                &targets,
+                draw_seed ^ (app as u64),
+            )?;
+            let actual = PredictionTask::actual_scores(db, app, &targets);
+            for method in methods {
+                let predicted = method.predict(&task)?;
+                let metrics = EvalMetrics::compute(&predicted, &actual)?;
+                cells.push(CvCell {
+                    fold: format!("size-{size}"),
+                    app: db.benchmarks()[app].name.clone(),
+                    method: method.name().to_owned(),
+                    metrics,
+                });
             }
         }
+        Ok(cells)
+    };
+
+    let n_draws = config.sizes.len() * config.trials;
+    let results: Vec<Result<Vec<CvCell>>> = config.parallelism.par_map_indexed(2, n_draws, |idx| {
+        run_draw(config.sizes[idx / config.trials], idx % config.trials)
+    });
+    let mut report = CvReport::default();
+    for r in results {
+        report.cells.extend(r?);
     }
     Ok(report)
 }

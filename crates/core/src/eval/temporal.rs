@@ -7,6 +7,7 @@
 //! released in 2008, 2007 and pre-2007."
 
 use datatrans_dataset::database::PerfDatabase;
+use datatrans_parallel::Parallelism;
 
 use crate::eval::{CvCell, CvReport};
 use crate::model::Predictor;
@@ -64,6 +65,9 @@ pub struct TemporalConfig {
     pub target_year: u16,
     /// Eras to evaluate (default: all three).
     pub eras: Vec<PredictiveEra>,
+    /// Worker threads for the (era × application) fan-out. Cells come back
+    /// in the same order at any thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TemporalConfig {
@@ -73,6 +77,7 @@ impl Default for TemporalConfig {
             apps: None,
             target_year: 2009,
             eras: PredictiveEra::ALL.to_vec(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -104,7 +109,9 @@ pub fn temporal_evaluation(
         .clone()
         .unwrap_or_else(|| (0..db.n_benchmarks()).collect());
 
-    let mut report = CvReport::default();
+    // Validate every era up front, then fan the (era × application) grid
+    // out across the executor; per-cell seeds make the cells independent.
+    let mut era_machines = Vec::with_capacity(config.eras.len());
     for &era in &config.eras {
         let predictive = era.machines(db);
         if predictive.is_empty() {
@@ -112,25 +119,39 @@ pub fn temporal_evaluation(
                 "era {era} has no machines"
             )));
         }
-        for &app in &apps {
-            let seed = config
-                .seed
-                .wrapping_mul(0xD1B5_4A32_D192_ED03)
-                .wrapping_add((era as u64) << 24)
-                .wrapping_add(app as u64);
-            let task = PredictionTask::leave_one_out(db, app, &predictive, &targets, seed)?;
-            let actual = PredictionTask::actual_scores(db, app, &targets);
-            for method in methods {
-                let predicted = method.predict(&task)?;
-                let metrics = EvalMetrics::compute(&predicted, &actual)?;
-                report.cells.push(CvCell {
-                    fold: era.to_string(),
-                    app: db.benchmarks()[app].name.clone(),
-                    method: method.name().to_owned(),
-                    metrics,
-                });
-            }
+        era_machines.push((era, predictive));
+    }
+
+    let run_cell = |era: PredictiveEra, predictive: &[usize], app: usize| -> Result<Vec<CvCell>> {
+        let seed = config
+            .seed
+            .wrapping_mul(0xD1B5_4A32_D192_ED03)
+            .wrapping_add((era as u64) << 24)
+            .wrapping_add(app as u64);
+        let task = PredictionTask::leave_one_out(db, app, predictive, &targets, seed)?;
+        let actual = PredictionTask::actual_scores(db, app, &targets);
+        let mut cells = Vec::with_capacity(methods.len());
+        for method in methods {
+            let predicted = method.predict(&task)?;
+            let metrics = EvalMetrics::compute(&predicted, &actual)?;
+            cells.push(CvCell {
+                fold: era.to_string(),
+                app: db.benchmarks()[app].name.clone(),
+                method: method.name().to_owned(),
+                metrics,
+            });
         }
+        Ok(cells)
+    };
+
+    let n_cells = era_machines.len() * apps.len();
+    let results: Vec<Result<Vec<CvCell>>> = config.parallelism.par_map_indexed(2, n_cells, |idx| {
+        let (era, predictive) = &era_machines[idx / apps.len()];
+        run_cell(*era, predictive, apps[idx % apps.len()])
+    });
+    let mut report = CvReport::default();
+    for r in results {
+        report.cells.extend(r?);
     }
     Ok(report)
 }

@@ -19,7 +19,7 @@
 
 use datatrans_linalg::Matrix;
 use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
-use datatrans_ml::knn::{combine_targets_with, Neighbor, NeighborWeighting};
+use datatrans_ml::knn::{combine_targets_with, select_k_nearest, Neighbor, NeighborWeighting};
 use datatrans_ml::scale::StandardScaler;
 
 use crate::model::Predictor;
@@ -45,6 +45,11 @@ impl Default for GaKnnConfig {
             ga: GaConfig {
                 population: 32,
                 generations: 40,
+                // GA-kNN is almost always driven by a harness whose own
+                // fan-out (folds × apps) already owns the cores; a nested
+                // per-generation fan-out would oversubscribe them. Set an
+                // explicit `Threads(n)` for standalone single-task speed.
+                parallelism: datatrans_parallel::Parallelism::Sequential,
                 ..GaConfig::default_seeded(0)
             },
             weighting: NeighborWeighting::InverseDistance,
@@ -182,13 +187,7 @@ fn nearest_benchmarks(
             }
         })
         .collect();
-    neighbors.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .expect("finite distances")
-            .then(a.index.cmp(&b.index))
-    });
-    neighbors.truncate(k);
+    select_k_nearest(&mut neighbors, k);
     neighbors
 }
 
@@ -218,13 +217,7 @@ impl FitnessContext<'_> {
                 index: i,
                 distance: weighted_distance(self.sq_diffs.row(held * b + i), weights),
             }));
-            neighbors.sort_by(|a, b| {
-                a.distance
-                    .partial_cmp(&b.distance)
-                    .expect("finite distances")
-                    .then(a.index.cmp(&b.index))
-            });
-            neighbors.truncate(self.k.min(neighbors.len()));
+            select_k_nearest(&mut neighbors, self.k);
 
             for tj in 0..t {
                 let scores = self.scores.col_view(tj);
@@ -344,6 +337,48 @@ mod tests {
         };
         let pred = gaknn.predict(&task).unwrap();
         assert_eq!(pred.len(), task.n_targets());
+    }
+
+    #[test]
+    fn constant_characteristic_column_does_not_panic() {
+        // Regression: a zero-variance characteristic column used to be a
+        // latent panic in neighbour ordering (NaN after standardization →
+        // partial_cmp(...).expect). The scaler guards the division and the
+        // comparator is now total, so this must predict cleanly.
+        let mut task = structured_task();
+        let b = task.train_characteristics.rows();
+        task.train_characteristics = datatrans_linalg::Matrix::from_fn(b, 2, |i, d| {
+            if d == 0 {
+                (i % 3) as f64
+            } else {
+                7.5 // constant column
+            }
+        });
+        task.app_characteristics = vec![1.0, 7.5];
+        let gaknn = GaKnn {
+            config: quick_config(),
+        };
+        let pred = gaknn.predict(&task).unwrap();
+        assert_eq!(pred.len(), task.n_targets());
+        assert!(pred.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn parallel_ga_matches_sequential_bitwise() {
+        let task = structured_task();
+        let predict = |parallelism| {
+            let mut config = quick_config();
+            config.ga.parallelism = parallelism;
+            GaKnn { config }.predict(&task).unwrap()
+        };
+        let seq = predict(datatrans_parallel::Parallelism::Sequential);
+        for threads in [2, 4] {
+            let par = predict(datatrans_parallel::Parallelism::Threads(threads));
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use datatrans_core::ranking::MetricAggregate;
 use datatrans_dataset::machine::ProcessorFamily;
 use datatrans_ml::ga::GaConfig;
 use datatrans_ml::mlp::MlpConfig;
+use datatrans_parallel::Parallelism;
 
 use crate::{ExperimentConfig, Result};
 
@@ -116,6 +117,8 @@ fn variants(config: &ExperimentConfig) -> Vec<Variant> {
                     ga: GaConfig {
                         population: config.ga_population,
                         generations: config.ga_generations,
+                        // The variant grid owns the cores (see run()).
+                        parallelism: Parallelism::Sequential,
                         ..GaConfig::default_seeded(0)
                     },
                     ..GaKnnConfig::default()
@@ -136,25 +139,28 @@ pub fn run(config: &ExperimentConfig) -> Result<AblationResult> {
     let apps = config
         .app_indices(&db)
         .unwrap_or_else(|| (0..db.n_benchmarks()).collect());
-    let mut rows = Vec::new();
-    for variant in variants(config) {
-        let report = family_cross_validation(
-            &db,
-            &[variant.method],
-            &FamilyCvConfig {
-                seed: config.seed,
-                families: Some(vec![ProcessorFamily::Xeon, ProcessorFamily::Core2]),
-                apps: Some(apps.clone()),
-                parallel: true,
-            },
-        )?;
-        let method_name = report.methods()[0].clone();
-        let aggregate = report.aggregate_method(&method_name)?;
-        rows.push(AblationRow {
-            variant: variant.label,
-            aggregate,
+    // Fan out over the variants; the inner two-fold CV stays sequential so
+    // the variant grid owns the cores.
+    let results: Vec<Result<AblationRow>> =
+        config.parallelism.par_map(2, &variants(config), |variant| {
+            let report = family_cross_validation(
+                &db,
+                std::slice::from_ref(&variant.method),
+                &FamilyCvConfig {
+                    seed: config.seed,
+                    families: Some(vec![ProcessorFamily::Xeon, ProcessorFamily::Core2]),
+                    apps: Some(apps.clone()),
+                    parallelism: Parallelism::Sequential,
+                },
+            )?;
+            let method_name = report.methods()[0].clone();
+            let aggregate = report.aggregate_method(&method_name)?;
+            Ok(AblationRow {
+                variant: variant.label.clone(),
+                aggregate,
+            })
         });
-    }
+    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
     Ok(AblationResult { rows })
 }
 

@@ -108,7 +108,7 @@ fn diagnose(config: &ExperimentConfig) -> Result<(), datatrans_core::CoreError> 
                 ProcessorFamily::OpteronK10,
             ]),
             apps: Some(apps),
-            parallel: true,
+            parallelism: config.parallelism,
         },
     )?;
     println!(

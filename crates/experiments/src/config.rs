@@ -5,6 +5,7 @@ use datatrans_dataset::database::PerfDatabase;
 use datatrans_dataset::generator::{generate, DatasetConfig};
 use datatrans_ml::ga::GaConfig;
 use datatrans_ml::mlp::MlpConfig;
+use datatrans_parallel::Parallelism;
 
 use crate::Result;
 
@@ -28,6 +29,11 @@ pub struct ExperimentConfig {
     pub ga_population: usize,
     /// GA-kNN generations (default 40).
     pub ga_generations: usize,
+    /// Worker threads for the experiment harnesses' fan-outs
+    /// ([`Parallelism::Auto`]: `DATATRANS_THREADS`, or every available
+    /// core). Every table and figure is bitwise-identical at any thread
+    /// count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExperimentConfig {
@@ -40,6 +46,7 @@ impl Default for ExperimentConfig {
             mlp_epochs: 500,
             ga_population: 32,
             ga_generations: 40,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -66,6 +73,9 @@ impl ExperimentConfig {
         let ga = GaConfig {
             population: self.ga_population,
             generations: self.ga_generations,
+            // The harness-level (fold × app) fan-out owns the cores; a
+            // nested per-generation fan-out would only oversubscribe them.
+            parallelism: Parallelism::Sequential,
             ..GaConfig::default_seeded(0)
         };
         vec![

@@ -30,6 +30,7 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig8Result> {
         ks: (1..=10).collect(),
         random_trials: config.scaled_trials(NOMINAL_RANDOM_TRIALS),
         apps: config.app_indices(&db),
+        parallelism: config.parallelism,
         ..FitCurveConfig::default()
     };
     let points = goodness_of_fit_curve(&db, &fit_config)?;

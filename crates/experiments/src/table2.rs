@@ -34,7 +34,7 @@ pub fn run(config: &ExperimentConfig) -> Result<Table2Result> {
         seed: config.seed,
         apps: config.app_indices(&db),
         families: None,
-        parallel: true,
+        parallelism: config.parallelism,
     };
     let report = family_cross_validation(&db, &methods, &cv_config)?;
     let method_names: Vec<String> = report.methods();

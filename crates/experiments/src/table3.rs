@@ -34,6 +34,7 @@ pub fn run(config: &ExperimentConfig) -> Result<Table3Result> {
     let temporal_config = TemporalConfig {
         seed: config.seed,
         apps: config.app_indices(&db),
+        parallelism: config.parallelism,
         ..TemporalConfig::default()
     };
     let report = temporal_evaluation(&db, &methods, &temporal_config)?;

@@ -43,6 +43,7 @@ pub fn run(config: &ExperimentConfig) -> Result<Table4Result> {
         sizes: sizes.clone(),
         trials: config.scaled_trials(NOMINAL_TRIALS),
         apps: config.app_indices(&db),
+        parallelism: config.parallelism,
         ..SubsetConfig::default()
     };
     let report = subset_evaluation(&db, &methods, &subset_config)?;

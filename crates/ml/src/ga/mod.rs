@@ -23,11 +23,16 @@
 //! # }
 //! ```
 
+use datatrans_parallel::Parallelism;
 use datatrans_rng::rngs::StdRng;
 use datatrans_rng::Rng;
 use datatrans_rng::SeedableRng;
 
 use crate::{MlError, Result};
+
+/// Smallest population slice worth fanning out to worker threads; below
+/// this the fitness sweep runs inline.
+const MIN_PARALLEL_EVALS: usize = 8;
 
 /// Hyper-parameters for [`GeneticAlgorithm`].
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +54,9 @@ pub struct GaConfig {
     pub elitism: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for population fitness evaluation. Results are
+    /// bitwise-identical at any thread count; only wall-clock changes.
+    pub parallelism: Parallelism,
 }
 
 impl GaConfig {
@@ -63,6 +71,7 @@ impl GaConfig {
             tournament: 3,
             elitism: 2,
             seed,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -161,10 +170,21 @@ impl GeneticAlgorithm {
     ///
     /// Non-finite fitness values are treated as negative infinity (the
     /// genome is never selected as best).
-    pub fn run(&self, fitness: impl Fn(&[f64]) -> f64) -> GaResult {
+    ///
+    /// Each generation's fitness sweep fans out over
+    /// [`GaConfig::parallelism`] worker threads; because fitness is a pure
+    /// function of the genome and the RNG stream never crosses an
+    /// evaluation, the result is bitwise-identical at any thread count.
+    /// Elites keep their cached fitness from the previous generation
+    /// instead of being re-evaluated.
+    pub fn run(&self, fitness: impl Fn(&[f64]) -> f64 + Sync) -> GaResult {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let width = self.hi - self.lo;
+        let evaluate = |pop: &[Vec<f64>]| -> Vec<f64> {
+            cfg.parallelism
+                .par_map(MIN_PARALLEL_EVALS, pop, |g| safe_fitness(&fitness, g))
+        };
 
         let mut population: Vec<Vec<f64>> = (0..cfg.population)
             .map(|_| {
@@ -173,10 +193,7 @@ impl GeneticAlgorithm {
                     .collect()
             })
             .collect();
-        let mut scores: Vec<f64> = population
-            .iter()
-            .map(|g| safe_fitness(&fitness, g))
-            .collect();
+        let mut scores: Vec<f64> = evaluate(&population);
 
         let mut best_idx = argmax_f64(&scores);
         let mut best_genome = population[best_idx].clone();
@@ -186,15 +203,18 @@ impl GeneticAlgorithm {
         for _gen in 0..cfg.generations {
             let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
 
-            // Elitism: carry the best genomes over unchanged.
+            // Elitism: carry the best genomes over unchanged, along with
+            // their already-computed fitness.
             let mut order: Vec<usize> = (0..cfg.population).collect();
             order.sort_by(|&a, &b| {
                 scores[b]
                     .partial_cmp(&scores[a])
                     .expect("fitness sanitized")
             });
+            let mut elite_scores = Vec::with_capacity(cfg.elitism);
             for &i in order.iter().take(cfg.elitism) {
                 next.push(population[i].clone());
+                elite_scores.push(scores[i]);
             }
 
             while next.len() < cfg.population {
@@ -211,10 +231,16 @@ impl GeneticAlgorithm {
             }
 
             population = next;
-            scores = population
-                .iter()
-                .map(|g| safe_fitness(&fitness, g))
-                .collect();
+            #[cfg(debug_assertions)]
+            for (cached, genome) in elite_scores.iter().zip(&population) {
+                debug_assert_eq!(
+                    cached.to_bits(),
+                    safe_fitness(&fitness, genome).to_bits(),
+                    "elite fitness cache diverged from re-evaluation"
+                );
+            }
+            scores = elite_scores;
+            scores.extend(evaluate(&population[cfg.elitism..]));
             best_idx = argmax_f64(&scores);
             if scores[best_idx] > best_fitness {
                 best_fitness = scores[best_idx];
@@ -368,6 +394,32 @@ mod tests {
         let result = ga.run(|g| if g[0] > 0.0 { f64::NAN } else { g[0] }); // NaN never wins
         assert!(result.best_fitness <= 0.0);
         assert!(result.best_fitness.is_finite());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_bitwise() {
+        let run = |parallelism| {
+            let config = GaConfig {
+                population: 24,
+                generations: 15,
+                parallelism,
+                ..GaConfig::default_seeded(11)
+            };
+            GeneticAlgorithm::new(3, (-2.0, 2.0), config)
+                .unwrap()
+                .run(|g| -(g[0] * g[0] + (g[1] - 0.5).powi(2) + g[2].cos().abs()))
+        };
+        let seq = run(Parallelism::Sequential);
+        for threads in [2, 4] {
+            let par = run(Parallelism::Threads(threads));
+            assert_eq!(seq.best_genome, par.best_genome, "{threads} threads");
+            assert_eq!(
+                seq.best_fitness.to_bits(),
+                par.best_fitness.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(seq.history, par.history, "{threads} threads");
+        }
     }
 
     #[test]

@@ -148,13 +148,7 @@ impl KnnIndex {
                     .expect("lengths validated"),
             })
             .collect();
-        neighbors.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-                .then(a.index.cmp(&b.index))
-        });
-        neighbors.truncate(k);
+        select_k_nearest(&mut neighbors, k);
         Ok(neighbors)
     }
 
@@ -184,6 +178,40 @@ impl KnnIndex {
         let neighbors = self.nearest(query, k)?;
         Ok(combine_targets(&neighbors, targets, weighting))
     }
+}
+
+/// Total-order comparator for neighbours: ascending distance, ties broken
+/// by the lower row index. [`f64::total_cmp`] keeps the order defined even
+/// if a degenerate input (e.g. a zero-variance characteristic column
+/// upstream) produces a NaN distance — NaN sorts after every real distance
+/// instead of panicking.
+fn neighbor_cmp(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.distance
+        .total_cmp(&b.distance)
+        .then(a.index.cmp(&b.index))
+}
+
+/// Reduces `neighbors` to its `k` nearest entries, closest first.
+///
+/// Uses `select_nth_unstable_by` to partition out the `k` survivors in
+/// O(n), then sorts only those — O(n + k log k) against the O(n log n) of a
+/// full sort, which matters inside GA-kNN's triple loop (generations ×
+/// population × leave-one-out folds). The comparator is a strict total
+/// order (distance, then index), so the result is bitwise-identical to
+/// fully sorting and truncating.
+///
+/// A `k` of zero clears the list; a `k` beyond the length keeps everything.
+pub fn select_k_nearest(neighbors: &mut Vec<Neighbor>, k: usize) {
+    let k = k.min(neighbors.len());
+    if k == 0 {
+        neighbors.clear();
+        return;
+    }
+    if k < neighbors.len() {
+        neighbors.select_nth_unstable_by(k - 1, neighbor_cmp);
+        neighbors.truncate(k);
+    }
+    neighbors.sort_unstable_by(neighbor_cmp);
 }
 
 /// Combines neighbour targets per the chosen weighting scheme.
@@ -313,6 +341,68 @@ mod tests {
         let pts = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         assert!(KnnIndex::fit_weighted(pts.clone(), vec![1.0]).is_err());
         assert!(KnnIndex::fit_weighted(pts, vec![-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn select_k_nearest_matches_full_sort() {
+        // Pseudo-random distances with deliberate duplicates to exercise
+        // the index tie-break.
+        let make = || -> Vec<Neighbor> {
+            (0..200)
+                .map(|i| Neighbor {
+                    index: i,
+                    distance: (((i * 37) % 50) as f64) * 0.25,
+                })
+                .collect()
+        };
+        for k in [1, 3, 10, 50, 199, 200, 500] {
+            let mut full = make();
+            full.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap()
+                    .then(a.index.cmp(&b.index))
+            });
+            full.truncate(k);
+            let mut topk = make();
+            select_k_nearest(&mut topk, k);
+            assert_eq!(topk, full, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn select_k_nearest_handles_nan_distances() {
+        // Regression: the former partial_cmp(...).expect("finite
+        // distances") panicked on NaN (e.g. from a zero-variance column
+        // standardized upstream). total_cmp sorts NaN after every real
+        // distance instead.
+        let mut neighbors = vec![
+            Neighbor {
+                index: 0,
+                distance: f64::NAN,
+            },
+            Neighbor {
+                index: 1,
+                distance: 2.0,
+            },
+            Neighbor {
+                index: 2,
+                distance: 1.0,
+            },
+        ];
+        select_k_nearest(&mut neighbors, 2);
+        assert_eq!(neighbors[0].index, 2);
+        assert_eq!(neighbors[1].index, 1);
+    }
+
+    #[test]
+    fn select_k_zero_clears() {
+        let mut neighbors = vec![Neighbor {
+            index: 0,
+            distance: 1.0,
+        }];
+        select_k_nearest(&mut neighbors, 0);
+        assert!(neighbors.is_empty());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Deterministic scoped worker-pool execution for the `datatrans` workspace.
+//!
+//! Every hot loop in the reproduction — GA population fitness, the
+//! experiment harnesses' (fold × application) grids, bootstrap resampling —
+//! is a *data-parallel map over an index range* whose per-item results
+//! depend only on the item index, never on evaluation order. This crate
+//! exploits that shape: [`Parallelism::par_map`] and
+//! [`Parallelism::par_map_indexed`] fan the range out across
+//! [`std::thread::scope`] workers and merge the results back **in input
+//! order**, so the output is bitwise-identical to the sequential loop at
+//! any thread count. The golden-snapshot and naive-reference equivalence
+//! tests therefore hold unchanged with parallelism enabled.
+//!
+//! Workers self-schedule off a shared atomic cursor (one item at a time),
+//! which load-balances heterogeneous items — e.g. processor-family folds of
+//! very different sizes — without any effect on the merged result.
+//!
+//! # Choosing a thread count
+//!
+//! [`Parallelism`] is a small config value carried by the structs that own
+//! hot loops ([`GaConfig`], the experiment harness configs):
+//!
+//! * [`Parallelism::Sequential`] — run inline on the caller, spawn nothing;
+//! * [`Parallelism::Threads`]`(n)` — exactly `n` workers;
+//! * [`Parallelism::Auto`] (the default) — the `DATATRANS_THREADS`
+//!   environment variable if set, otherwise
+//!   [`std::thread::available_parallelism`].
+//!
+//! Below a per-call work threshold (`min_work`) every variant falls back to
+//! the inline sequential loop, so tiny inputs never pay thread-spawn
+//! latency.
+//!
+//! [`GaConfig`]: https://docs.rs/datatrans-ml
+//!
+//! # Example
+//!
+//! ```
+//! use datatrans_parallel::Parallelism;
+//!
+//! let squares = Parallelism::Threads(4).par_map_indexed(1, 100, |i| i * i);
+//! assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the [`Parallelism::Auto`] thread count.
+pub const THREADS_ENV: &str = "DATATRANS_THREADS";
+
+/// How many worker threads a parallel map may use.
+///
+/// `Parallelism` is `Copy` and cheap to embed in config structs; the
+/// environment lookup for [`Parallelism::Auto`] happens per call, not at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Run inline on the calling thread; never spawn workers.
+    Sequential,
+    /// Use exactly this many worker threads (`0` is treated as `1`).
+    Threads(usize),
+    /// `DATATRANS_THREADS` if set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`].
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of worker threads this configuration resolves to.
+    ///
+    /// Always at least 1. A result of 1 means the parallel maps run inline
+    /// without spawning.
+    pub fn thread_count(&self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => (*n).max(1),
+            Parallelism::Auto => env_thread_count().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        }
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    ///
+    /// The output is bitwise-identical to
+    /// `(0..n).map(f).collect::<Vec<_>>()` at any thread count: workers
+    /// self-schedule individual indices and the merged results are sorted
+    /// back into input order. Falls back to the inline sequential loop when
+    /// `n < min_work` or the resolved thread count is 1.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on a worker thread, the panic payload is re-raised on
+    /// the calling thread after all workers have stopped.
+    pub fn par_map_indexed<U, F>(&self, min_work: usize, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let threads = self.thread_count().min(n);
+        if threads <= 1 || n < min_work {
+            return (0..n).map(f).collect();
+        }
+        run_workers(threads, n, &f)
+    }
+
+    /// Maps `f` over a slice, returning results in input order.
+    ///
+    /// Same ordering and fallback guarantees as
+    /// [`Parallelism::par_map_indexed`].
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on a worker thread, the panic payload is re-raised on
+    /// the calling thread after all workers have stopped.
+    pub fn par_map<T, U, F>(&self, min_work: usize, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indexed(min_work, items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Parses a `DATATRANS_THREADS`-style value: a positive integer, with
+/// surrounding whitespace tolerated. Anything else is ignored.
+fn parse_thread_count(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn env_thread_count() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| parse_thread_count(&v))
+}
+
+/// The parallel path: `threads` scoped workers pull indices off a shared
+/// cursor, collect `(index, value)` pairs locally, and the caller merges
+/// them back into index order.
+fn run_workers<U, F>(threads: usize, n: usize, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let joined: Vec<std::thread::Result<Vec<(usize, U)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut indexed = Vec::with_capacity(n);
+    for worker in joined {
+        match worker {
+            Ok(part) => indexed.extend(part),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn indexed_results_are_in_input_order() {
+        for p in [
+            Parallelism::Sequential,
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::Threads(7),
+        ] {
+            let got = p.par_map_indexed(1, 100, |i| i * 3 + 1);
+            let want: Vec<usize> = (0..100).map(|i| i * 3 + 1).collect();
+            assert_eq!(got, want, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn slice_map_matches_sequential_bitwise() {
+        let items: Vec<f64> = (0..257).map(|i| (i as f64 * 0.37).sin()).collect();
+        let f = |x: &f64| (x * 1.7).exp().sqrt() + x;
+        let seq: Vec<f64> = items.iter().map(f).collect();
+        for threads in [2, 3, 4, 8] {
+            let par = Parallelism::Threads(threads).par_map(1, &items, f);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<usize> = Parallelism::Threads(4).par_map_indexed(0, 0, |i| i);
+        assert!(empty.is_empty());
+        let one = Parallelism::Threads(4).par_map_indexed(0, 1, |i| i + 9);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn below_min_work_runs_inline() {
+        let main_id = std::thread::current().id();
+        let ids = Parallelism::Threads(4).par_map_indexed(100, 8, |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id == main_id),
+            "below-threshold work must stay on the caller"
+        );
+    }
+
+    #[test]
+    fn at_or_above_min_work_uses_workers() {
+        let main_id = std::thread::current().id();
+        let ids: Vec<ThreadId> =
+            Parallelism::Threads(2).par_map_indexed(1, 16, |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id != main_id),
+            "above-threshold work must run on spawned workers"
+        );
+    }
+
+    #[test]
+    fn sequential_never_spawns() {
+        let main_id = std::thread::current().id();
+        let ids = Parallelism::Sequential.par_map_indexed(0, 32, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Parallelism::Threads(2).par_map_indexed(1, 16, |i| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("boom at 5"), "payload: {message}");
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(Parallelism::Sequential.thread_count(), 1);
+        assert_eq!(Parallelism::Threads(0).thread_count(), 1);
+        assert_eq!(Parallelism::Threads(6).thread_count(), 6);
+        assert!(Parallelism::Auto.thread_count() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn env_value_parsing() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 2 "), Some(2));
+        assert_eq!(parse_thread_count("1"), Some(1));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("lots"), None);
+        assert_eq!(parse_thread_count("-3"), None);
+    }
+
+    #[test]
+    fn load_imbalance_keeps_order() {
+        // Items near the front are much slower; self-scheduling lets later
+        // items overtake them in time, but never in the output.
+        let slow = Mutex::new(());
+        let got = Parallelism::Threads(4).par_map_indexed(1, 24, |i| {
+            if i < 4 {
+                let _guard = slow.lock().unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        let want: Vec<usize> = (0..24).map(|i| i * 10).collect();
+        assert_eq!(got, want);
+    }
+}

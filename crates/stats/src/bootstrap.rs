@@ -3,10 +3,14 @@
 //! Used by the experiment harness to attach uncertainty to aggregate metrics
 //! (the paper reports point estimates only; the bootstrap is our extension).
 
+use datatrans_parallel::Parallelism;
 use datatrans_rng::rngs::StdRng;
 use datatrans_rng::{Rng, SeedableRng};
 
 use crate::{Result, StatsError};
+
+/// Smallest replicate count worth fanning out to worker threads.
+const MIN_PARALLEL_RESAMPLES: usize = 32;
 
 /// A two-sided percentile bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +29,15 @@ pub struct ConfidenceInterval {
 ///
 /// Resamples `data` with replacement `resamples` times, evaluates
 /// `statistic` on each resample, and returns the percentile interval at
-/// `level` (e.g. `0.95`). Fully deterministic given `seed`.
+/// `level` (e.g. `0.95`). Fully deterministic given `seed`: replicate `r`
+/// draws from its own RNG stream derived from `(seed, r)`, so the interval
+/// does not depend on evaluation order — which is what lets
+/// [`bootstrap_ci_par`] fan the replicates out over worker threads with
+/// bitwise-identical results.
+///
+/// Uses [`Parallelism::Auto`] (the `DATATRANS_THREADS` environment
+/// variable, or every available core); [`bootstrap_ci_par`] takes the
+/// thread configuration explicitly.
 ///
 /// # Errors
 ///
@@ -50,10 +62,36 @@ pub struct ConfidenceInterval {
 /// ```
 pub fn bootstrap_ci(
     data: &[f64],
-    statistic: impl Fn(&[f64]) -> Result<f64>,
+    statistic: impl Fn(&[f64]) -> Result<f64> + Sync,
     resamples: usize,
     level: f64,
     seed: u64,
+) -> Result<ConfidenceInterval> {
+    bootstrap_ci_par(
+        data,
+        statistic,
+        resamples,
+        level,
+        seed,
+        Parallelism::default(),
+    )
+}
+
+/// [`bootstrap_ci`] with an explicit thread configuration.
+///
+/// The interval is bitwise-identical at any thread count, including
+/// [`Parallelism::Sequential`].
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci`].
+pub fn bootstrap_ci_par(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> Result<f64> + Sync,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    parallelism: Parallelism,
 ) -> Result<ConfidenceInterval> {
     if data.is_empty() {
         return Err(StatsError::Empty { what: "data" });
@@ -68,23 +106,29 @@ pub fn bootstrap_ci(
         });
     }
     let estimate = statistic(data)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut stats = Vec::with_capacity(resamples);
-    let mut scratch = vec![0.0; data.len()];
-    for _ in 0..resamples {
-        for slot in scratch.iter_mut() {
-            *slot = data[rng.gen_range(0..data.len())];
-        }
-        if let Ok(s) = statistic(&scratch) {
-            stats.push(s);
-        }
-    }
+    let replicates: Vec<Option<f64>> =
+        parallelism.par_map_indexed(MIN_PARALLEL_RESAMPLES, resamples, |r| {
+            let mut rng = StdRng::seed_from_u64(replicate_seed(seed, r));
+            let mut scratch = vec![0.0; data.len()];
+            for slot in scratch.iter_mut() {
+                *slot = data[rng.gen_range(0..data.len())];
+            }
+            statistic(&scratch).ok()
+        });
+    // Non-finite replicate statistics (e.g. a degenerate 0/0 ratio) are
+    // skipped exactly like Err replicates, so a NaN can never surface as a
+    // confidence bound.
+    let mut stats: Vec<f64> = replicates
+        .into_iter()
+        .flatten()
+        .filter(|s| s.is_finite())
+        .collect();
     if stats.is_empty() {
         return Err(StatsError::Empty {
             what: "successful bootstrap resamples",
         });
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((stats.len() as f64 - 1.0) * alpha).round() as usize;
     let hi_idx = ((stats.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
@@ -94,6 +138,13 @@ pub fn bootstrap_ci(
         upper: stats[hi_idx],
         level,
     })
+}
+
+/// Derives replicate `r`'s RNG seed from the base seed. The golden-ratio
+/// multiplier decorrelates consecutive replicates before
+/// [`StdRng::seed_from_u64`]'s SplitMix64 scrambling.
+fn replicate_seed(seed: u64, r: usize) -> u64 {
+    seed.wrapping_add((r as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 #[cfg(test)]
@@ -126,6 +177,65 @@ mod tests {
         let a = bootstrap_ci(&data, mean, 200, 0.9, 11).unwrap();
         let b = bootstrap_ci(&data, mean, 200, 0.9, 12).unwrap();
         assert!(a.lower != b.lower || a.upper != b.upper);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let data: Vec<f64> = (0..40).map(|i| ((i * 7) % 13) as f64).collect();
+        let seq = bootstrap_ci_par(&data, mean, 300, 0.95, 17, Parallelism::Sequential).unwrap();
+        for threads in [2, 4] {
+            let par = bootstrap_ci_par(&data, mean, 300, 0.95, 17, Parallelism::Threads(threads))
+                .unwrap();
+            assert_eq!(
+                seq.lower.to_bits(),
+                par.lower.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                seq.upper.to_bits(),
+                par.upper.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                seq.estimate.to_bits(),
+                par.estimate.to_bits(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_replicates_are_skipped() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // A statistic that is NaN whenever the resample mean exceeds the
+        // full-sample mean; the CI must still come out finite.
+        let spiky = |s: &[f64]| -> Result<f64> {
+            let m = mean(s)?;
+            Ok(if m > 3.5 { f64::NAN } else { m })
+        };
+        let ci = bootstrap_ci(&data, spiky, 200, 0.9, 3).unwrap();
+        assert!(ci.lower.is_finite() && ci.upper.is_finite());
+        assert!(ci.upper <= 3.5);
+        // All replicates non-finite → explicit error, not a NaN interval.
+        // (The statistic recognizes the full ordered sample; no seeded
+        // resample-with-replacement reproduces it here.)
+        let original = data.to_vec();
+        let nan_on_resample = move |s: &[f64]| -> Result<f64> {
+            if s == original.as_slice() {
+                mean(s)
+            } else {
+                Ok(f64::NAN)
+            }
+        };
+        assert!(bootstrap_ci(&data, nan_on_resample, 50, 0.9, 3).is_err());
+    }
+
+    #[test]
+    fn replicate_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..1000 {
+            assert!(seen.insert(replicate_seed(99, r)), "collision at {r}");
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! This facade crate re-exports the workspace layers:
 //!
 //! * [`linalg`] — dense matrices, QR/Cholesky/LU/eigen decompositions.
+//! * [`parallel`] — the deterministic scoped worker-pool executor
+//!   (`Parallelism`, `par_map`) behind every fan-out; results are
+//!   bitwise-identical at any thread count.
 //! * [`stats`] — ranks, Spearman/Pearson/Kendall, error metrics, bootstrap.
 //! * [`ml`] — linear regression, MLP, kNN, GA, k-medoids, PCA.
 //! * [`dataset`] — the synthetic SPEC CPU2006 substrate: the 117-machine
@@ -60,4 +63,5 @@ pub use datatrans_dataset as dataset;
 pub use datatrans_experiments as experiments;
 pub use datatrans_linalg as linalg;
 pub use datatrans_ml as ml;
+pub use datatrans_parallel as parallel;
 pub use datatrans_stats as stats;

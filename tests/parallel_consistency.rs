@@ -1,0 +1,102 @@
+//! The executor's core guarantee, checked end to end: every parallelized
+//! pipeline produces bitwise-identical results at 1, 2, and 4 threads.
+//!
+//! Unit-level coverage of `par_map` (ordering, panic propagation, the
+//! sequential-fallback threshold) lives in `datatrans-parallel`; this
+//! suite exercises the wired-through consumers — GA-kNN predictions,
+//! bootstrap confidence intervals, and the family-CV tables.
+
+use datatrans::core::eval::family_cv::{family_cross_validation, FamilyCvConfig};
+use datatrans::core::model::{GaKnn, NnT, Predictor};
+use datatrans::core::task::PredictionTask;
+use datatrans::dataset::generator::{generate, DatasetConfig};
+use datatrans::dataset::machine::ProcessorFamily;
+use datatrans::parallel::Parallelism;
+use datatrans::stats::bootstrap::bootstrap_ci_par;
+use datatrans::stats::summary::mean;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} != {y}");
+    }
+}
+
+#[test]
+fn gaknn_predictions_invariant_across_thread_counts() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let targets = db.machines_in_family(ProcessorFamily::Phenom);
+    let predictive: Vec<usize> = (0..db.n_machines())
+        .filter(|m| !targets.contains(m))
+        .collect();
+    let task = PredictionTask::leave_one_out(&db, 4, &predictive, &targets, 5).expect("task");
+
+    let predict = |parallelism| {
+        let mut gaknn = GaKnn::new();
+        gaknn.config.ga.parallelism = parallelism;
+        gaknn.predict(&task).expect("prediction")
+    };
+    let seq = predict(Parallelism::Sequential);
+    for threads in THREAD_COUNTS {
+        let par = predict(Parallelism::Threads(threads));
+        assert_bits_eq(&seq, &par, &format!("GA-kNN at {threads} threads"));
+    }
+}
+
+#[test]
+fn bootstrap_ci_invariant_across_thread_counts() {
+    let data: Vec<f64> = (0..60).map(|i| ((i * 13) % 29) as f64 * 0.5).collect();
+    let seq = bootstrap_ci_par(&data, mean, 400, 0.95, 23, Parallelism::Sequential)
+        .expect("sequential ci");
+    for threads in THREAD_COUNTS {
+        let par = bootstrap_ci_par(&data, mean, 400, 0.95, 23, Parallelism::Threads(threads))
+            .expect("parallel ci");
+        assert_eq!(
+            seq.lower.to_bits(),
+            par.lower.to_bits(),
+            "lower at {threads} threads"
+        );
+        assert_eq!(
+            seq.upper.to_bits(),
+            par.upper.to_bits(),
+            "upper at {threads} threads"
+        );
+        assert_eq!(
+            seq.estimate.to_bits(),
+            par.estimate.to_bits(),
+            "estimate at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn family_cv_tables_invariant_across_thread_counts() {
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let methods: Vec<Box<dyn Predictor + Send + Sync>> = vec![Box::new(NnT::default())];
+    let run = |parallelism| {
+        family_cross_validation(
+            &db,
+            &methods,
+            &FamilyCvConfig {
+                families: Some(vec![
+                    ProcessorFamily::Xeon,
+                    ProcessorFamily::Power6,
+                    ProcessorFamily::CoreDuo,
+                ]),
+                apps: Some(vec![0, 7]),
+                parallelism,
+                ..FamilyCvConfig::default()
+            },
+        )
+        .expect("family cv")
+    };
+    let seq = run(Parallelism::Sequential);
+    for threads in THREAD_COUNTS {
+        let par = run(Parallelism::Threads(threads));
+        // CvCell and EvalMetrics derive PartialEq over raw f64 metrics, so
+        // equality here is exact, cell for cell, in the same order.
+        assert_eq!(seq.cells, par.cells, "report at {threads} threads");
+    }
+}
