@@ -20,6 +20,7 @@ fn bench_mlp_scaling(c: &mut Criterion) {
                     ..MlpConfig::weka_default(0)
                 },
                 log_domain: true,
+                ..MlpT::default()
             };
             b.iter(|| std::hint::black_box(mlpt.predict(&task).expect("mlpt")))
         });
@@ -33,6 +34,7 @@ fn bench_mlp_scaling(c: &mut Criterion) {
                     ..MlpConfig::weka_default(0)
                 },
                 log_domain: true,
+                ..MlpT::default()
             };
             b.iter(|| std::hint::black_box(mlpt.predict(&task).expect("mlpt")))
         });

@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the numerical kernels underpinning the pipeline:
 //! the three predictors on one task, dataset generation, Spearman,
 //! k-medoids, QR least squares, MLP training, the GA-kNN fitness loop,
-//! top-k neighbour selection vs a full sort, and the parallel executor's
-//! thread scaling.
+//! top-k neighbour selection vs a full sort, the blocked GEMV kernel vs
+//! the scalar loop it replaced, MLPᵀ batch prediction sequential vs
+//! pooled, the persistent pool vs per-call scoped spawning at
+//! GA-generation granularity, and the parallel executor's thread scaling.
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_task};
@@ -198,6 +200,131 @@ fn bench_knn_topk(c: &mut Criterion) {
     group.finish();
 }
 
+/// The blocked GEMV kernel (`Matrix::mul_vec_into`) against the scalar
+/// per-row loop it replaced on the GA-kNN fitness path, at the row counts
+/// the leave-one-out loop sees and above.
+fn bench_gemv(c: &mut Criterion) {
+    let d = 32;
+    let mut group = c.benchmark_group("gemv");
+    group.sample_size(30);
+    for b in [64usize, 256, 1024] {
+        let m = Matrix::from_fn(b, d, |i, j| (((i * 31 + j * 7) % 23) as f64) * 0.125);
+        let v: Vec<f64> = (0..d).map(|j| ((j * 13 % 11) as f64) * 0.09).collect();
+        group.bench_with_input(BenchmarkId::new("mul_vec_into", b), &b, |bch, _| {
+            let mut out = vec![0.0; b];
+            bch.iter(|| {
+                m.mul_vec_into(&v, &mut out).expect("shapes fixed");
+                std::hint::black_box(out[b - 1])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_rows", b), &b, |bch, _| {
+            let mut out = vec![0.0; b];
+            bch.iter(|| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = m.row(i).iter().zip(&v).map(|(a, x)| a * x).sum();
+                }
+                std::hint::black_box(out[b - 1])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// MLPᵀ batch prediction with the per-target loop sequential vs fanned out
+/// over the persistent pool. The fit cost is shared (reduced epochs keep
+/// it from drowning the predict loop); only the per-target forward passes
+/// differ. Like `parallel_scaling`, the pooled numbers only beat
+/// sequential on multi-core hardware — on a single-core container the
+/// dispatch overhead shows up as a small slowdown.
+fn bench_mlpt_predict(c: &mut Criterion) {
+    println!(
+        "(note: the pooled/threaded groups below measure dispatch overhead honestly \
+         but only show speedups on multi-core hardware; a single-core container shows none)"
+    );
+    let db = bench_database();
+    let task = bench_task(&db);
+    let mut group = c.benchmark_group("mlpt_predict");
+    group.sample_size(10);
+    let variants: [(&str, Parallelism); 2] = [
+        ("sequential", Parallelism::Sequential),
+        ("pool_4", Parallelism::Threads(4)),
+    ];
+    for (name, parallelism) in variants {
+        group.bench_function(name, |bch| {
+            let mlpt = MlpT {
+                config: MlpConfig {
+                    epochs: 50,
+                    ..MlpConfig::weka_default(0)
+                },
+                parallelism,
+                ..MlpT::default()
+            };
+            bch.iter(|| std::hint::black_box(mlpt.predict(&task).expect("mlpt")))
+        });
+    }
+    group.finish();
+}
+
+/// Per-call scoped spawning, as `par_map` worked before the persistent
+/// pool: the baseline for `bench_executor`.
+fn scoped_par_map<U: Send>(threads: usize, n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench worker"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Dispatch overhead at GA-generation granularity: one call maps a
+/// 32-genome population's worth of fitness-sized work items, comparing the
+/// persistent pool (two channel messages per worker per call) against
+/// fresh scoped threads per call (spawn + join per worker per call). The
+/// work per item is fixed, so the gap between the two IS the per-call
+/// spawn cost a GA run pays once per generation. Thread-spawn latency
+/// exists on any hardware, so the pool should win here even on a
+/// single-core container.
+fn bench_executor(c: &mut Criterion) {
+    let population = 32;
+    let threads = 2;
+    // Roughly one cheap fitness evaluation's worth of arithmetic.
+    let work = |i: usize| -> f64 {
+        let mut acc = i as f64;
+        for k in 0..2_000 {
+            acc += ((k as f64) * 1e-3).sin();
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(30);
+    group.bench_function("pool_generation_2x32", |bch| {
+        let p = Parallelism::Threads(threads);
+        bch.iter(|| std::hint::black_box(p.par_map_indexed(1, population, work)))
+    });
+    group.bench_function("scoped_generation_2x32", |bch| {
+        bch.iter(|| std::hint::black_box(scoped_par_map(threads, population, work)))
+    });
+    group.finish();
+}
+
 /// GA-kNN fitness evaluation at 1/2/4 worker threads. On multi-core
 /// hardware the 4-thread run should be at least ~2× the 1-thread run;
 /// `Threads(1)` resolves to the inline sequential path, so the comparison
@@ -236,6 +363,9 @@ criterion_group!(
     bench_substrates,
     bench_ga_fitness,
     bench_knn_topk,
+    bench_gemv,
+    bench_mlpt_predict,
+    bench_executor,
     bench_parallel_scaling
 );
 criterion_main!(benches);

@@ -288,6 +288,137 @@ impl Bencher {
     }
 }
 
+/// Parses a report previously written by [`Criterion::json_report`] back
+/// into records, in file order.
+///
+/// This is deliberately *not* a general JSON parser: it reads exactly the
+/// one-record-per-object shape the harness emits (and `bench_diff`
+/// compares), and rejects anything it cannot account for rather than
+/// silently misreading a hand-edited baseline.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed record, or of a missing
+/// `results` array.
+pub fn parse_report(json: &str) -> std::result::Result<Vec<BenchRecord>, String> {
+    if !json.contains("\"results\"") {
+        return Err("no \"results\" array in report".into());
+    }
+    let mut records = Vec::new();
+    // Records never nest, so object boundaries are safe to scan for —
+    // but a boundary brace must be outside quoted strings, because a
+    // benchmark id may legally contain `{`/`}` (json_escape leaves them
+    // as-is inside the quotes).
+    let mut rest = json;
+    while let Some(start) = find_outside_strings(rest, '{') {
+        let Some(len) = find_outside_strings(&rest[start + 1..], '}') else {
+            break;
+        };
+        let object = &rest[start + 1..start + 1 + len];
+        rest = &rest[start + 1 + len + 1..];
+        if !object.contains("\"id\"") {
+            continue; // the enclosing top-level object
+        }
+        records.push(parse_record(object)?);
+    }
+    Ok(records)
+}
+
+/// Byte index of the first `needle` in `s` that is not inside a quoted
+/// JSON string (escaped quotes within strings are honoured).
+fn find_outside_strings(s: &str, needle: char) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+        } else if c == '"' {
+            in_string = true;
+        } else if c == needle {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn parse_record(object: &str) -> std::result::Result<BenchRecord, String> {
+    let id_raw =
+        string_field(object, "id").ok_or_else(|| format!("record without id: {object}"))?;
+    let id = json_unescape(id_raw);
+    let int = |name: &str| -> std::result::Result<u128, String> {
+        int_field(object, name).ok_or_else(|| format!("record {id:?}: missing/invalid {name}"))
+    };
+    Ok(BenchRecord {
+        median_ns: int("median_ns")?,
+        min_ns: int("min_ns")?,
+        max_ns: int("max_ns")?,
+        samples: int("samples")? as usize,
+        id,
+    })
+}
+
+/// The raw (still escaped) contents of `"name": "…"` in `object`.
+fn string_field<'a>(object: &'a str, name: &str) -> Option<&'a str> {
+    let rest = field_value(object, name)?;
+    let rest = rest.strip_prefix('"')?;
+    // Find the closing quote, skipping escaped ones.
+    let mut prev_backslash = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '\\' => prev_backslash = !prev_backslash,
+            '"' if !prev_backslash => return Some(&rest[..i]),
+            _ => prev_backslash = false,
+        }
+    }
+    None
+}
+
+fn int_field(object: &str, name: &str) -> Option<u128> {
+    let rest = field_value(object, name)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// The text right after `"name":`, whitespace skipped.
+fn field_value<'a>(object: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\"");
+    let after_key = &object[object.find(&key)? + key.len()..];
+    let after_colon = &after_key[after_key.find(':')? + 1..];
+    Some(after_colon.trim_start())
+}
+
+/// Undoes [`json_escape`] for the escapes it can produce.
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('u') => {
+                let code: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&code, 16).ok().and_then(char::from_u32) {
+                    Some(decoded) => out.push(decoded),
+                    None => {
+                        out.push_str("\\u");
+                        out.push_str(&code);
+                    }
+                }
+            }
+            Some(escaped) => out.push(escaped),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 /// Prints the one-line human-readable summary of a measured benchmark.
 fn print_record(r: &BenchRecord) {
     println!(
@@ -446,6 +577,37 @@ mod tests {
         };
         filtered.bench_function("something", |b| b.iter(|| 1));
         assert!(filtered.records().is_empty());
+    }
+
+    #[test]
+    fn parse_report_round_trips_json_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("fast", |b| b.iter(|| std::hint::black_box(2 * 2)));
+        group.bench_function("q\"uoted", |b| b.iter(|| std::hint::black_box(3 * 3)));
+        // Braces in an id are legal JSON string content and must not be
+        // mistaken for record boundaries.
+        group.bench_function("cfg{8}/v\\2", |b| b.iter(|| std::hint::black_box(4 * 4)));
+        group.finish();
+        let parsed = parse_report(&c.json_report()).expect("round trip");
+        assert_eq!(parsed, c.records());
+    }
+
+    #[test]
+    fn parse_report_rejects_malformed_input() {
+        assert!(parse_report("{}").is_err() || parse_report("{}").unwrap().is_empty());
+        assert!(parse_report("not json at all").is_err());
+        // A record with a missing field is an error, not a silent skip.
+        let broken = r#"{"results": [ {"id": "g/f", "median_ns": }]}"#;
+        assert!(parse_report(broken).is_err());
+    }
+
+    #[test]
+    fn json_unescape_inverts_escape() {
+        for s in ["plain/id", "q\"uote\\", "tab\tend", "mixed \"x\"\t\\"] {
+            assert_eq!(json_unescape(&json_escape(s)), s);
+        }
     }
 
     #[test]

@@ -98,7 +98,16 @@ pub fn goodness_of_fit_curve(
         }
         let medoid_seed = config.seed.wrapping_add((k as u64) << 40);
         let medoids = select_k_medoids(db, &pool, k, medoid_seed)?;
-        let kmedoids_r2 = pooled_r2(db, &medoids, &targets, &apps, medoid_seed)?;
+        // The k-medoids point runs once per k, so its per-app MLPᵀ folds
+        // own the workers directly.
+        let kmedoids_r2 = pooled_r2(
+            db,
+            &medoids,
+            &targets,
+            &apps,
+            medoid_seed,
+            config.parallelism,
+        )?;
 
         // Each trial derives its own seed, so the draws fan out across the
         // executor; summing the collected values in trial order keeps the
@@ -113,7 +122,16 @@ pub fn goodness_of_fit_curve(
                         .wrapping_add((k as u64) << 32)
                         .wrapping_add(trial as u64);
                     let machines = select_random(&pool, k, draw_seed)?;
-                    pooled_r2(db, &machines, &targets, &apps, draw_seed)
+                    // The trial fan-out above already owns the workers; a
+                    // nested per-app fan-out would only oversubscribe them.
+                    pooled_r2(
+                        db,
+                        &machines,
+                        &targets,
+                        &apps,
+                        draw_seed,
+                        Parallelism::Sequential,
+                    )
                 });
         let mut random_sum = 0.0;
         for r2 in trial_r2s {
@@ -130,25 +148,35 @@ pub fn goodness_of_fit_curve(
 
 /// Pooled log-space goodness of fit (squared Pearson correlation) of MLPᵀ
 /// predictions across all (app, target) pairs.
+///
+/// The per-application leave-one-out folds (one MLPᵀ train + predict each)
+/// fan out across `parallelism` workers; fold results are merged back in
+/// application order before pooling, so the R² is bitwise-identical at any
+/// thread count.
 fn pooled_r2(
     db: &PerfDatabase,
     predictive: &[usize],
     targets: &[usize],
     apps: &[usize],
     seed: u64,
+    parallelism: Parallelism,
 ) -> Result<f64> {
     let mlpt = MlpT::default();
-    let mut predicted_log = Vec::with_capacity(apps.len() * targets.len());
-    let mut actual_log = Vec::with_capacity(apps.len() * targets.len());
-    for &app in apps {
+    let folds: Vec<Result<(Vec<f64>, Vec<f64>)>> = parallelism.par_map(2, apps, |&app| {
         let task =
             PredictionTask::leave_one_out(db, app, predictive, targets, seed ^ (app as u64))?;
         let predicted = mlpt.predict(&task)?;
         let actual = PredictionTask::actual_scores(db, app, targets);
-        for (p, a) in predicted.iter().zip(&actual) {
-            predicted_log.push(p.max(1e-9).ln());
-            actual_log.push(a.max(1e-9).ln());
-        }
+        let pred_log: Vec<f64> = predicted.iter().map(|p| p.max(1e-9).ln()).collect();
+        let act_log: Vec<f64> = actual.iter().map(|a| a.max(1e-9).ln()).collect();
+        Ok((pred_log, act_log))
+    });
+    let mut predicted_log = Vec::with_capacity(apps.len() * targets.len());
+    let mut actual_log = Vec::with_capacity(apps.len() * targets.len());
+    for fold in folds {
+        let (pred_log, act_log) = fold?;
+        predicted_log.extend(pred_log);
+        actual_log.extend(act_log);
     }
     let r = pearson(&predicted_log, &actual_log)?;
     Ok(r * r)

@@ -19,7 +19,9 @@
 
 use datatrans_linalg::Matrix;
 use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
-use datatrans_ml::knn::{combine_targets_with, select_k_nearest, Neighbor, NeighborWeighting};
+use datatrans_ml::knn::{
+    combine_targets_with, select_k_nearest, KnnIndex, Neighbor, NeighborWeighting,
+};
 use datatrans_ml::scale::StandardScaler;
 
 use crate::model::Predictor;
@@ -111,13 +113,21 @@ impl GaKnn {
         let mut ga_config = self.config.ga.clone();
         ga_config.seed ^= task.seed;
         let ga = GeneticAlgorithm::new(dims, (0.0, 1.0), ga_config)?;
-        let result = ga.run(|w| -fitness_ctx.loo_error(w));
+        // Each fitness worker owns one scratch (distance buffer + neighbour
+        // list), so a parallel population sweep re-weights the pairwise
+        // matrix without a single per-evaluation allocation.
+        let result = ga.run_with(
+            || fitness_ctx.scratch(),
+            |scratch, w| -fitness_ctx.loo_error(w, scratch),
+        );
         let weights = result.best_genome;
 
         // Final prediction: the app's k nearest benchmarks under the
-        // learned weights, combined per target machine straight from a
-        // column view of the score matrix.
-        let neighbors = nearest_benchmarks(&train_chars, &app_chars, &weights, k);
+        // learned weights — one buffer-reusing index query — combined per
+        // target machine straight from a column view of the score matrix.
+        let index = KnnIndex::fit_weighted(train_chars, weights.clone())?;
+        let mut neighbors = Vec::with_capacity(b);
+        index.nearest_into(&app_chars, k, &mut neighbors)?;
         let mut predictions = Vec::with_capacity(task.n_targets());
         for t in 0..task.n_targets() {
             let scores = task.train_target.col_view(t);
@@ -162,35 +172,6 @@ fn pairwise_sq_diffs(chars: &Matrix) -> Matrix {
     out
 }
 
-fn weighted_distance(sq: &[f64], w: &[f64]) -> f64 {
-    sq.iter().zip(w).map(|(s, wi)| s * wi).sum::<f64>().sqrt()
-}
-
-fn nearest_benchmarks(
-    train_chars: &Matrix,
-    query: &[f64],
-    weights: &[f64],
-    k: usize,
-) -> Vec<Neighbor> {
-    let b = train_chars.rows();
-    let mut neighbors: Vec<Neighbor> = (0..b)
-        .map(|i| {
-            let d2: f64 = (0..weights.len())
-                .map(|dim| {
-                    let diff = train_chars[(i, dim)] - query[dim];
-                    weights[dim] * diff * diff
-                })
-                .sum();
-            Neighbor {
-                index: i,
-                distance: d2.sqrt(),
-            }
-        })
-        .collect();
-    select_k_nearest(&mut neighbors, k);
-    neighbors
-}
-
 /// Shared state for GA fitness evaluation.
 struct FitnessContext<'a> {
     /// Flat `(b·b) × d` pairwise squared-difference matrix.
@@ -200,28 +181,57 @@ struct FitnessContext<'a> {
     weighting: NeighborWeighting,
 }
 
+/// Per-worker working memory for [`FitnessContext::loo_error`]: the
+/// GEMV output (all `b²` weighted squared distances) and the neighbour
+/// list, both reused across every evaluation a worker performs.
+struct LooScratch {
+    sq_dist: Vec<f64>,
+    neighbors: Vec<Neighbor>,
+}
+
 impl FitnessContext<'_> {
+    /// A scratch sized for this context, one per fitness worker.
+    fn scratch(&self) -> LooScratch {
+        let b = self.scores.rows();
+        LooScratch {
+            sq_dist: vec![0.0; b * b],
+            neighbors: Vec::with_capacity(b),
+        }
+    }
+
     /// Leave-one-out mean relative error of kNN predictions of each
     /// training benchmark's scores on the target machines.
-    fn loo_error(&self, weights: &[f64]) -> f64 {
+    ///
+    /// The whole evaluation's distance work is **one GEMV**: the flat
+    /// `(b·b) × d` squared-difference matrix times the weight vector fills
+    /// `scratch.sq_dist` with every pairwise weighted squared distance,
+    /// replacing the former per-pair scalar loop. Each row of the GEMV
+    /// accumulates in the same dimension order as that loop did, so the
+    /// error — and every golden GA-kNN snapshot downstream — is bitwise
+    /// unchanged.
+    fn loo_error(&self, weights: &[f64], scratch: &mut LooScratch) -> f64 {
         let b = self.scores.rows();
         let t = self.scores.cols();
+        self.sq_diffs
+            .mul_vec_into(weights, &mut scratch.sq_dist)
+            .expect("scratch sized for context");
         let mut total = 0.0;
         let mut count = 0usize;
-        let mut neighbors: Vec<Neighbor> = Vec::with_capacity(b);
         for held in 0..b {
             // Neighbours among the other benchmarks; distances read the
-            // contiguous rows of the flat pairwise matrix.
+            // precomputed GEMV block for this held-out row.
+            let held_dists = &scratch.sq_dist[held * b..(held + 1) * b];
+            let neighbors = &mut scratch.neighbors;
             neighbors.clear();
             neighbors.extend((0..b).filter(|&i| i != held).map(|i| Neighbor {
                 index: i,
-                distance: weighted_distance(self.sq_diffs.row(held * b + i), weights),
+                distance: held_dists[i].sqrt(),
             }));
-            select_k_nearest(&mut neighbors, self.k);
+            select_k_nearest(neighbors, self.k);
 
             for tj in 0..t {
                 let scores = self.scores.col_view(tj);
-                let pred = combine_targets_with(&neighbors, |i| scores.at(i), self.weighting);
+                let pred = combine_targets_with(neighbors, |i| scores.at(i), self.weighting);
                 let actual = scores.at(held);
                 if actual > 0.0 {
                     total += (pred - actual).abs() / actual;

@@ -13,10 +13,15 @@
 
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
 use datatrans_ml::scale::MinMaxScaler;
+use datatrans_parallel::Parallelism;
 
 use crate::model::Predictor;
 use crate::task::PredictionTask;
 use crate::Result;
+
+/// Smallest target count worth fanning out to pool workers; below this the
+/// per-target prediction loop runs inline on the caller.
+const MIN_PARALLEL_TARGETS: usize = 8;
 
 /// The MLPᵀ predictor (WEKA-default multilayer perceptron, as in the
 /// paper).
@@ -38,6 +43,13 @@ pub struct MlpT {
     /// default: WEKA normalizes inputs linearly, but scores spanning two
     /// orders of magnitude train poorly otherwise.
     pub log_domain: bool,
+    /// Worker threads for the per-target prediction fan-out (each worker
+    /// reuses one [`datatrans_ml::mlp::MlpScratch`]). Predictions are
+    /// bitwise-identical at any thread count. Like GA-kNN, the default is
+    /// `Sequential`: the evaluation harnesses' own (fold × app) fan-out
+    /// already owns the cores; set `Threads(n)` for standalone batch
+    /// prediction over many target machines.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MlpT {
@@ -45,6 +57,7 @@ impl Default for MlpT {
         MlpT {
             config: MlpConfig::weka_default(0),
             log_domain: true,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -100,15 +113,24 @@ impl Predictor for MlpT {
             .fold(0.0f64, f64::max)
             .max(1.0);
 
-        let mut out = Vec::with_capacity(task.n_targets());
-        let mut scratch = model.scratch();
-        for t in 0..task.n_targets() {
-            let raw = model.predict_with_scratch(target_features.row(t), &mut scratch)?;
-            let raw = if raw.is_finite() { raw } else { fallback };
-            let raw = raw.clamp(fallback - 3.0 * spread, fallback + 3.0 * spread);
-            out.push(inv(raw).max(1e-6));
-        }
-        Ok(out)
+        // Per-target forward passes fan out over the worker pool; each
+        // worker reuses one MlpScratch across its targets, and the merged
+        // results come back in target order, so the output is
+        // bitwise-identical to the sequential loop at any thread count.
+        self.parallelism
+            .par_map_indexed_with(
+                MIN_PARALLEL_TARGETS,
+                task.n_targets(),
+                || model.scratch(),
+                |scratch, t| -> Result<f64> {
+                    let raw = model.predict_with_scratch(target_features.row(t), scratch)?;
+                    let raw = if raw.is_finite() { raw } else { fallback };
+                    let raw = raw.clamp(fallback - 3.0 * spread, fallback + 3.0 * spread);
+                    Ok(inv(raw).max(1e-6))
+                },
+            )
+            .into_iter()
+            .collect()
     }
 }
 
@@ -194,6 +216,27 @@ mod tests {
         // Looser tolerance: 3 training rows is minimal.
         for (p, a) in pred.iter().zip(&actual) {
             assert!((p - a).abs() / a < 0.8, "predicted {p:.2}, actual {a:.2}");
+        }
+    }
+
+    #[test]
+    fn parallel_predict_matches_sequential_bitwise() {
+        // 12 targets clears MIN_PARALLEL_TARGETS, so the pool really runs.
+        let (task, _) = nonlinear_task(8, 12);
+        let predict = |parallelism| {
+            let mlpt = MlpT {
+                parallelism,
+                ..MlpT::default()
+            };
+            mlpt.predict(&task).unwrap()
+        };
+        let seq = predict(Parallelism::Sequential);
+        for threads in [2, 4] {
+            let par = predict(Parallelism::Threads(threads));
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
         }
     }
 

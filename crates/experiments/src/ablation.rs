@@ -61,6 +61,7 @@ fn variants(config: &ExperimentConfig) -> Vec<Variant> {
                     ..MlpConfig::weka_default(0)
                 },
                 log_domain: true,
+                ..MlpT::default()
             }),
         });
     }
@@ -74,6 +75,7 @@ fn variants(config: &ExperimentConfig) -> Vec<Variant> {
                     ..MlpConfig::weka_default(0)
                 },
                 log_domain: true,
+                ..MlpT::default()
             }),
         });
     }
@@ -86,6 +88,7 @@ fn variants(config: &ExperimentConfig) -> Vec<Variant> {
                 ..MlpConfig::weka_default(0)
             },
             log_domain: false,
+            ..MlpT::default()
         }),
     });
     // --- NN^T criterion and domain ---

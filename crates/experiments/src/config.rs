@@ -83,6 +83,7 @@ impl ExperimentConfig {
             Box::new(MlpT {
                 config: mlp_config,
                 log_domain: true,
+                ..MlpT::default()
             }),
             Box::new(GaKnn {
                 config: GaKnnConfig {

@@ -282,6 +282,18 @@ impl Matrix {
             .collect())
     }
 
+    /// Matrix–vector product into a caller-owned buffer: the
+    /// allocation-free, row-blocked GEMV of
+    /// [`MatrixView::mul_vec_into`] on the full matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        self.view().mul_vec_into(v, out)
+    }
+
     /// Elementwise sum `self + rhs`.
     ///
     /// # Errors

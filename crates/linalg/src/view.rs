@@ -32,7 +32,12 @@
 use std::fmt;
 use std::ops::Index;
 
-use crate::Matrix;
+use crate::{LinalgError, Matrix, Result};
+
+/// Rows processed per pass of the blocked GEMV in
+/// [`MatrixView::mul_vec_into`]: each loaded `v[j]` feeds this many
+/// accumulators, amortizing the vector traffic across the block.
+const GEMV_ROW_BLOCK: usize = 4;
 
 /// A borrowed, strided, read-only view of a matrix.
 #[derive(Clone, Copy)]
@@ -147,6 +152,93 @@ impl<'a> MatrixView<'a> {
     /// Materializes `f` applied to every element into an owned matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix::from_fn(self.rows, self.cols, |i, j| f(self.at(i, j)))
+    }
+
+    /// Matrix–vector product `out[i] = Σⱼ self[i,j] · v[j]` into a
+    /// caller-owned buffer — the allocation-free GEMV kernel for hot loops.
+    ///
+    /// The kernel is row-blocked: [`GEMV_ROW_BLOCK`] rows are accumulated
+    /// per pass over `v`, so each loaded `v[j]` feeds that many independent
+    /// accumulators (and, on the contiguous fast path, each row is read as
+    /// a bounds-check-free slice). Every row still keeps **one**
+    /// accumulator added in `j = 0..cols` order, so each `out[i]` is
+    /// bitwise-identical to the scalar loop
+    /// `(0..cols).map(|j| self.at(i, j) * v[j]).sum()` — blocking buys
+    /// instruction-level parallelism across rows without touching the
+    /// per-row summation order the determinism tests pin down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul_vec_into (vector)",
+                lhs: (self.rows, self.cols),
+                rhs: (v.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul_vec_into (output)",
+                lhs: (self.rows, self.cols),
+                rhs: (out.len(), 1),
+            });
+        }
+        if self.col_stride == 1 {
+            self.gemv_contiguous(v, out);
+        } else {
+            self.gemv_strided(v, out);
+        }
+        Ok(())
+    }
+
+    /// Blocked GEMV over rows that are contiguous slices (`col_stride == 1`
+    /// — a matrix or any row-aligned window of one).
+    fn gemv_contiguous(&self, v: &[f64], out: &mut [f64]) {
+        let cols = self.cols;
+        let row = |i: usize| -> &[f64] {
+            let base = self.offset + i * self.row_stride;
+            &self.data[base..base + cols]
+        };
+        let mut i = 0;
+        while i + GEMV_ROW_BLOCK <= self.rows {
+            let (r0, r1, r2, r3) = (row(i), row(i + 1), row(i + 2), row(i + 3));
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+            for (j, &vj) in v.iter().enumerate() {
+                a0 += r0[j] * vj;
+                a1 += r1[j] * vj;
+                a2 += r2[j] * vj;
+                a3 += r3[j] * vj;
+            }
+            out[i] = a0;
+            out[i + 1] = a1;
+            out[i + 2] = a2;
+            out[i + 3] = a3;
+            i += GEMV_ROW_BLOCK;
+        }
+        for (acc, ri) in out[i..].iter_mut().zip(i..self.rows) {
+            let r = row(ri);
+            let mut a = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                a += r[j] * vj;
+            }
+            *acc = a;
+        }
+    }
+
+    /// General strided GEMV (transposed or column views); same per-row
+    /// accumulation order as the contiguous path.
+    fn gemv_strided(&self, v: &[f64], out: &mut [f64]) {
+        for (i, acc) in out.iter_mut().enumerate() {
+            let base = self.offset + i * self.row_stride;
+            let mut a = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                a += self.data[base + j * self.col_stride] * vj;
+            }
+            *acc = a;
+        }
     }
 }
 
@@ -360,6 +452,67 @@ mod tests {
     fn vec_view_bounds_checked() {
         let m = sample();
         let _ = m.col_view(0).at(9);
+    }
+
+    /// The scalar reference GEMV: per-row sequential accumulation, the
+    /// exact summation order `mul_vec_into` must reproduce bit for bit.
+    fn gemv_reference(m: &MatrixView<'_>, v: &[f64]) -> Vec<f64> {
+        (0..m.rows())
+            .map(|i| {
+                let mut acc = 0.0;
+                for (j, &vj) in v.iter().enumerate() {
+                    acc += m.at(i, j) * vj;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mul_vec_into_matches_scalar_loop_bitwise() {
+        // Sizes straddling the row block: tails of 0..=3 rows, plus a
+        // single row and a single column.
+        for (rows, cols) in [(1, 1), (3, 5), (4, 7), (6, 2), (9, 24), (16, 16), (17, 3)] {
+            let m = Matrix::from_fn(rows, cols, |i, j| {
+                (((i * 31 + j * 17) % 13) as f64 - 6.0) * 0.37
+            });
+            let v: Vec<f64> = (0..cols)
+                .map(|j| ((j * 7 % 5) as f64 - 2.0) * 1.13)
+                .collect();
+            let mut out = vec![f64::NAN; rows];
+            m.view().mul_vec_into(&v, &mut out).unwrap();
+            let want = gemv_reference(&m.view(), &v);
+            for (i, (a, b)) in out.iter().zip(&want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{rows}x{cols} row {i}");
+            }
+            // And against the allocating matvec, which uses the same order.
+            let alloc = m.matvec(&v).unwrap();
+            assert_eq!(out, alloc);
+        }
+    }
+
+    #[test]
+    fn mul_vec_into_strided_transpose_matches_reference() {
+        let m = Matrix::from_fn(5, 8, |i, j| (i as f64 + 1.0) * 0.5 - j as f64 * 0.25);
+        let t = m.transpose_view();
+        let v: Vec<f64> = (0..t.cols()).map(|j| j as f64 * 0.3 - 1.0).collect();
+        let mut out = vec![0.0; t.rows()];
+        t.mul_vec_into(&v, &mut out).unwrap();
+        let want = gemv_reference(&t, &v);
+        for (a, b) in out.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_vec_into_validates_shapes() {
+        let m = sample();
+        let mut out3 = vec![0.0; 3];
+        let mut out2 = vec![0.0; 2];
+        assert!(m.view().mul_vec_into(&[1.0, 2.0], &mut out2).is_err());
+        assert!(m.view().mul_vec_into(&[1.0, 2.0, 3.0], &mut out3).is_err());
+        assert!(m.view().mul_vec_into(&[1.0, 2.0, 3.0], &mut out2).is_ok());
+        assert!(m.mul_vec_into(&[1.0, 2.0, 3.0], &mut out2).is_ok());
     }
 
     #[test]

@@ -178,12 +178,32 @@ impl GeneticAlgorithm {
     /// Elites keep their cached fitness from the previous generation
     /// instead of being re-evaluated.
     pub fn run(&self, fitness: impl Fn(&[f64]) -> f64 + Sync) -> GaResult {
+        self.run_with(|| (), move |_scratch, genome| fitness(genome))
+    }
+
+    /// [`GeneticAlgorithm::run`] with a per-worker scratch value.
+    ///
+    /// `scratch_init` builds one scratch per fitness worker per generation
+    /// (one total on the sequential path) and `fitness` receives it
+    /// mutably alongside each genome — the hook for objectives that want
+    /// preallocated buffers (GA-kNN's leave-one-out distance buffer). The
+    /// scratch must hold intermediates only, never influence the returned
+    /// fitness value; under that contract the run is bitwise-identical to
+    /// [`GeneticAlgorithm::run`] on a scratch-free equivalent, at any
+    /// thread count.
+    pub fn run_with<S>(
+        &self,
+        scratch_init: impl Fn() -> S + Sync,
+        fitness: impl Fn(&mut S, &[f64]) -> f64 + Sync,
+    ) -> GaResult {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let width = self.hi - self.lo;
         let evaluate = |pop: &[Vec<f64>]| -> Vec<f64> {
             cfg.parallelism
-                .par_map(MIN_PARALLEL_EVALS, pop, |g| safe_fitness(&fitness, g))
+                .par_map_with(MIN_PARALLEL_EVALS, pop, &scratch_init, |scratch, g| {
+                    safe_fitness(&fitness, scratch, g)
+                })
         };
 
         let mut population: Vec<Vec<f64>> = (0..cfg.population)
@@ -232,12 +252,15 @@ impl GeneticAlgorithm {
 
             population = next;
             #[cfg(debug_assertions)]
-            for (cached, genome) in elite_scores.iter().zip(&population) {
-                debug_assert_eq!(
-                    cached.to_bits(),
-                    safe_fitness(&fitness, genome).to_bits(),
-                    "elite fitness cache diverged from re-evaluation"
-                );
+            {
+                let mut scratch = scratch_init();
+                for (cached, genome) in elite_scores.iter().zip(&population) {
+                    debug_assert_eq!(
+                        cached.to_bits(),
+                        safe_fitness(&fitness, &mut scratch, genome).to_bits(),
+                        "elite fitness cache diverged from re-evaluation"
+                    );
+                }
             }
             scores = elite_scores;
             scores.extend(evaluate(&population[cfg.elitism..]));
@@ -304,8 +327,12 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-fn safe_fitness(fitness: &impl Fn(&[f64]) -> f64, genome: &[f64]) -> f64 {
-    let f = fitness(genome);
+fn safe_fitness<S>(
+    fitness: &impl Fn(&mut S, &[f64]) -> f64,
+    scratch: &mut S,
+    genome: &[f64],
+) -> f64 {
+    let f = fitness(scratch, genome);
     if f.is_finite() {
         f
     } else {
@@ -420,6 +447,34 @@ mod tests {
             );
             assert_eq!(seq.history, par.history, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn run_with_scratch_matches_run_bitwise() {
+        // A scratch that only holds intermediates must not change the run.
+        let config = GaConfig {
+            population: 24,
+            generations: 12,
+            parallelism: Parallelism::Threads(3),
+            ..GaConfig::default_seeded(7)
+        };
+        let ga = GeneticAlgorithm::new(3, (-1.0, 1.0), config).unwrap();
+        let objective = |g: &[f64]| -(g[0] * g[0]) + g[1] - g[2].abs();
+        let plain = ga.run(objective);
+        let scratched = ga.run_with(
+            || vec![0.0f64; 8],
+            |buf, g| {
+                buf.copy_from_slice(&[0.0; 8]);
+                buf[..3].copy_from_slice(g);
+                objective(&buf[..3])
+            },
+        );
+        assert_eq!(plain.best_genome, scratched.best_genome);
+        assert_eq!(
+            plain.best_fitness.to_bits(),
+            scratched.best_fitness.to_bits()
+        );
+        assert_eq!(plain.history, scratched.history);
     }
 
     #[test]

@@ -122,6 +122,24 @@ impl KnnIndex {
     /// * [`MlError::InvalidParameter`] if `k` is zero or exceeds the number
     ///   of indexed points.
     pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        let mut neighbors = Vec::with_capacity(self.points.rows());
+        self.nearest_into(query, k, &mut neighbors)?;
+        Ok(neighbors)
+    }
+
+    /// [`KnnIndex::nearest`] into a caller-owned buffer — the
+    /// allocation-free path for query loops.
+    ///
+    /// `out` is cleared and refilled with the `k` nearest points, closest
+    /// first; its capacity is reused across calls, so a loop of queries
+    /// allocates the distance buffer once instead of once per query.
+    /// Results are identical to [`KnnIndex::nearest`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnnIndex::nearest`]. On error `out` may hold
+    /// partial contents and must not be read.
+    pub fn nearest_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) -> Result<()> {
         if query.len() != self.points.cols() {
             return Err(MlError::invalid_input(format!(
                 "query has {} features, index has {}",
@@ -138,18 +156,16 @@ impl KnnIndex {
                 value: format!("{k} (index holds {} points)", self.points.rows()),
             });
         }
-        let mut neighbors: Vec<Neighbor> = self
-            .points
-            .iter_rows()
-            .enumerate()
-            .map(|(i, row)| Neighbor {
+        out.clear();
+        out.extend(self.points.iter_rows().enumerate().map(|(i, row)| {
+            Neighbor {
                 index: i,
                 distance: vecops::weighted_euclidean_distance(query, row, &self.weights)
                     .expect("lengths validated"),
-            })
-            .collect();
-        select_k_nearest(&mut neighbors, k);
-        Ok(neighbors)
+            }
+        }));
+        select_k_nearest(out, k);
+        Ok(())
     }
 
     /// kNN regression: combines `targets` over the `k` nearest neighbours.
@@ -341,6 +357,25 @@ mod tests {
         let pts = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         assert!(KnnIndex::fit_weighted(pts.clone(), vec![1.0]).is_err());
         assert!(KnnIndex::fit_weighted(pts, vec![-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn nearest_into_reuses_buffer_and_matches_nearest() {
+        let index = square_index();
+        let mut buf = Vec::new();
+        for (qi, query) in [[0.1, 0.1], [0.9, 0.2], [0.5, 0.8]].iter().enumerate() {
+            index.nearest_into(query, 3, &mut buf).unwrap();
+            let fresh = index.nearest(query, 3).unwrap();
+            assert_eq!(buf, fresh, "query {qi}");
+        }
+        // Stale contents from a previous (larger-k) query never leak.
+        index.nearest_into(&[0.0, 0.0], 4, &mut buf).unwrap();
+        index.nearest_into(&[1.0, 1.0], 1, &mut buf).unwrap();
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].index, 3);
+        // Validation still applies.
+        assert!(index.nearest_into(&[1.0], 1, &mut buf).is_err());
+        assert!(index.nearest_into(&[0.0, 0.0], 0, &mut buf).is_err());
     }
 
     #[test]

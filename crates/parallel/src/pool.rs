@@ -1,0 +1,165 @@
+//! The persistent worker pool backing the parallel maps.
+//!
+//! [`Parallelism::par_map`] used to spawn fresh [`std::thread::scope`]
+//! workers on every call — fine at harness granularity (one spawn per
+//! table), measurable at GA-generation granularity (one spawn per
+//! generation, thousands per experiment). This module keeps a process-wide
+//! pool of long-lived workers instead: a call checks out as many idle
+//! workers as it needs, spawns the shortfall (so the pool grows to the
+//! high-water mark of *concurrent* demand and never blocks a nested call),
+//! and checks them back in when the call completes.
+//!
+//! The execution contract is identical to the scoped implementation it
+//! replaces:
+//!
+//! * every call gets exclusive workers — no work stealing between calls, so
+//!   one call's load cannot reorder another's results;
+//! * a panic inside a job is caught on the worker, carried back to the
+//!   submitting thread, and re-raised there *after* every worker of that
+//!   call has finished — the pool itself is never poisoned, and the
+//!   surviving workers go back to the free list for the next call;
+//! * workers park on a channel between calls and are reclaimed by the OS at
+//!   process exit.
+//!
+//! # Safety
+//!
+//! This is the one module in the workspace that needs `unsafe`: a worker
+//! must run a closure that borrows the submitting caller's stack (the map
+//! closure, its input slice, the output slots), but a long-lived thread
+//! cannot hold a non-`'static` reference. [`run`] erases the borrow to a
+//! raw pointer and re-establishes the invariant by construction: it does
+//! not return until every worker has reported completion of this call's
+//! job, so the pointee is live for every dereference. This is the same
+//! argument scoped threads make, enforced by a completion channel instead
+//! of `JoinHandle`s.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
+
+/// A type-erased job reference handed to one worker.
+///
+/// `task` points at a live `F: Fn(usize) + Sync` on the submitting
+/// caller's stack and `call` is the monomorphized trampoline that knows how
+/// to invoke it. The pair is split this way so the pointer stays *thin* —
+/// no fat-pointer lifetime transmutes.
+struct JobRef {
+    task: *const (),
+    call: unsafe fn(*const (), usize),
+    /// Which of the call's worker slots this job occupies (0-based).
+    slot: usize,
+    /// Completion signal: `Ok` or the caught panic payload.
+    done: Sender<std::thread::Result<()>>,
+}
+
+// SAFETY: `task` is only dereferenced between `run` submitting the job and
+// the worker sending on `done`, and `run` keeps the pointee alive (and
+// unmoved) for that whole window by blocking on the completion channel.
+// The pointee is `Sync`, so a shared borrow from another thread is sound.
+unsafe impl Send for JobRef {}
+
+/// Trampoline re-materializing the concrete closure type.
+///
+/// # Safety
+///
+/// `task` must point to a live `F` for the duration of the call.
+unsafe fn call_erased<F: Fn(usize) + Sync>(task: *const (), slot: usize) {
+    unsafe { (*task.cast::<F>())(slot) }
+}
+
+/// One parked worker: the sending half of its private job channel.
+struct Worker {
+    jobs: Sender<JobRef>,
+}
+
+/// The process-wide pool: a free list of parked workers.
+struct Pool {
+    idle: Mutex<Vec<Worker>>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        idle: Mutex::new(Vec::new()),
+    })
+}
+
+/// A worker's life: park on the channel, run a job, report, repeat.
+/// Panics are caught per job, so one failing call never kills the worker.
+fn worker_loop(jobs: Receiver<JobRef>) {
+    while let Ok(job) = jobs.recv() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the submitting `run` call blocks until this job's
+            // outcome arrives on `done`, keeping the pointee alive.
+            unsafe { (job.call)(job.task, job.slot) }
+        }));
+        // A send can only fail if the submitting thread is gone, which
+        // `run`'s blocking receive rules out; ignore rather than unwrap so
+        // a worker never dies on shutdown races in tests.
+        let _ = job.done.send(result);
+    }
+}
+
+fn spawn_worker() -> Worker {
+    let (tx, rx) = channel();
+    std::thread::Builder::new()
+        .name("datatrans-pool-worker".into())
+        .spawn(move || worker_loop(rx))
+        .expect("spawn pool worker");
+    Worker { jobs: tx }
+}
+
+/// Runs `task(slot)` for every slot in `0..threads`, one slot per pooled
+/// worker, and returns when all have finished.
+///
+/// If any slot panicked, the first payload (in slot completion order) is
+/// re-raised on the calling thread after every worker has stopped — the
+/// same observable behaviour as the scoped-spawn implementation. The
+/// workers themselves survive and return to the free list either way.
+pub(crate) fn run<F>(threads: usize, task: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    // Check out idle workers; spawn the shortfall. Spawning instead of
+    // waiting keeps nested calls (a pooled job itself calling `run`)
+    // deadlock-free, exactly like per-call scoped spawning did.
+    let mut workers = {
+        let mut idle = pool().idle.lock().expect("pool free list");
+        let keep = idle.len() - threads.min(idle.len());
+        idle.split_off(keep)
+    };
+    while workers.len() < threads {
+        workers.push(spawn_worker());
+    }
+
+    let (done_tx, done_rx) = channel();
+    for (slot, worker) in workers.iter().enumerate() {
+        let job = JobRef {
+            task: (task as *const F).cast::<()>(),
+            call: call_erased::<F>,
+            slot,
+            done: done_tx.clone(),
+        };
+        worker.jobs.send(job).expect("pool worker alive");
+    }
+    drop(done_tx);
+
+    let mut panic_payload = None;
+    for _ in 0..workers.len() {
+        if let Err(payload) = done_rx.recv().expect("every worker reports") {
+            panic_payload.get_or_insert(payload);
+        }
+    }
+
+    // Check the workers back in before unwinding: a panicking call must
+    // poison only itself, never the pool.
+    pool()
+        .idle
+        .lock()
+        .expect("pool free list")
+        .append(&mut workers);
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+}
