@@ -4,12 +4,17 @@
 //! top-k neighbour selection vs a full sort, the blocked GEMV kernel vs
 //! the scalar loop it replaced, MLPᵀ batch prediction sequential vs
 //! pooled, the persistent pool vs per-call scoped spawning at
-//! GA-generation granularity, and the parallel executor's thread scaling.
+//! GA-generation granularity, the parallel executor's thread scaling, and
+//! the database layer at scale: point queries/gathers (`db_query`) and
+//! row/shard scans (`db_shard_scan`) on a 1k-machine catalog, dense vs
+//! sharded.
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use datatrans_bench::{bench_database, bench_task};
+use datatrans_bench::{bench_database, bench_scaled_database, bench_sharded_database, bench_task};
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_dataset::machine::ProcessorFamily;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_linalg::{solve::lstsq, Matrix};
 use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
 use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
@@ -357,6 +362,135 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Point queries and gathers against the 1k-machine scale catalog, dense
+/// vs sharded (8 shards) vs the per-worker shard-cursor handle. Lookups
+/// return the same stored `f64` on every backing; the groups measure the
+/// cost of the shard indirection and what the cursor buys back on the
+/// range-local access patterns the harnesses actually have.
+fn bench_db_query(c: &mut Criterion) {
+    let dense = bench_scaled_database();
+    let sharded = bench_sharded_database(&dense);
+    let n_machines = dense.n_machines();
+    let n_benchmarks = dense.n_benchmarks();
+
+    // Pseudorandom (benchmark, machine) probe sequence, fixed across
+    // variants; LCG strides keep it deterministic with no RNG in the loop.
+    let probes: Vec<(usize, usize)> = (0..4096)
+        .map(|i| {
+            (
+                (i * 2654435761) % n_benchmarks,
+                (i * 40503 + 13) % n_machines,
+            )
+        })
+        .collect();
+    // Range-local probe sequence: sweep one family's contiguous columns —
+    // the access shape of a family-fold worker.
+    let xeon = DatabaseView::machines_in_family(&dense, ProcessorFamily::Xeon);
+    let local_probes: Vec<(usize, usize)> = (0..4096)
+        .map(|i| ((i * 7) % n_benchmarks, xeon[i % xeon.len()]))
+        .collect();
+
+    let mut group = c.benchmark_group("db_query");
+    group.sample_size(30);
+    group.bench_function("score_dense_1k", |bch| {
+        bch.iter(|| {
+            let sum: f64 = probes.iter().map(|&(b, m)| dense.score(b, m)).sum();
+            std::hint::black_box(sum)
+        })
+    });
+    group.bench_function("score_sharded8_1k", |bch| {
+        bch.iter(|| {
+            let sum: f64 = probes
+                .iter()
+                .map(|&(b, m)| DatabaseView::score(&sharded, b, m))
+                .sum();
+            std::hint::black_box(sum)
+        })
+    });
+    group.bench_function("score_reader_local_1k", |bch| {
+        bch.iter(|| {
+            let reader = sharded.reader();
+            let sum: f64 = local_probes.iter().map(|&(b, m)| reader.score(b, m)).sum();
+            std::hint::black_box(sum)
+        })
+    });
+    // The task-construction gather: every benchmark × one family's
+    // machines, plus a scattered every-29th-machine predictive set.
+    let rows: Vec<usize> = (0..n_benchmarks).collect();
+    let scattered: Vec<usize> = (0..n_machines).step_by(29).collect();
+    group.bench_function("gather_family_dense_1k", |bch| {
+        bch.iter(|| std::hint::black_box(DatabaseView::gather(&dense, &rows, &xeon).rows()))
+    });
+    group.bench_function("gather_family_sharded8_1k", |bch| {
+        bch.iter(|| std::hint::black_box(DatabaseView::gather(&sharded, &rows, &xeon).rows()))
+    });
+    group.bench_function("gather_scattered_dense_1k", |bch| {
+        bch.iter(|| std::hint::black_box(DatabaseView::gather(&dense, &rows, &scattered).rows()))
+    });
+    group.bench_function("gather_scattered_sharded8_1k", |bch| {
+        bch.iter(|| std::hint::black_box(DatabaseView::gather(&sharded, &rows, &scattered).rows()))
+    });
+    group.finish();
+}
+
+/// Full-row and full-shard scans over the 1k-machine catalog: the
+/// aggregate read patterns (checksums, exports, per-shard statistics) that
+/// sweep whole storage blocks rather than gathering subsets.
+fn bench_db_shard_scan(c: &mut Criterion) {
+    let dense = bench_scaled_database();
+    let sharded = bench_sharded_database(&dense);
+    let n_benchmarks = dense.n_benchmarks();
+
+    let mut group = c.benchmark_group("db_shard_scan");
+    group.sample_size(30);
+    group.bench_function("row_scan_dense_1k", |bch| {
+        bch.iter(|| {
+            let mut sum = 0.0;
+            for b in 0..n_benchmarks {
+                for segment in DatabaseView::benchmark_row_segments(&dense, b) {
+                    sum += segment.scores.iter().sum::<f64>();
+                }
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    group.bench_function("row_scan_sharded8_1k", |bch| {
+        bch.iter(|| {
+            let mut sum = 0.0;
+            for b in 0..n_benchmarks {
+                for segment in DatabaseView::benchmark_row_segments(&sharded, b) {
+                    sum += segment.scores.iter().sum::<f64>();
+                }
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    group.bench_function("shard_block_scan_1k", |bch| {
+        bch.iter(|| {
+            // Shard-major order: each shard's block is one contiguous
+            // sweep — the layout the per-shard workers exploit.
+            let mut sum = 0.0;
+            for shard in sharded.shards() {
+                sum += shard.scores().as_slice().iter().sum::<f64>();
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    group.bench_function("column_scan_sharded8_1k", |bch| {
+        let n_machines = dense.n_machines();
+        bch.iter(|| {
+            let mut sum = 0.0;
+            for m in (0..n_machines).step_by(97) {
+                sum += DatabaseView::machine_column(&sharded, m)
+                    .iter()
+                    .sum::<f64>();
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_predictors,
@@ -366,6 +500,8 @@ criterion_group!(
     bench_gemv,
     bench_mlpt_predict,
     bench_executor,
-    bench_parallel_scaling
+    bench_parallel_scaling,
+    bench_db_query,
+    bench_db_shard_scan
 );
 criterion_main!(benches);

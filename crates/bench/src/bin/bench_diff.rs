@@ -25,8 +25,9 @@ use datatrans_bench::harness::{parse_report, BenchRecord};
 
 /// Default allowed median growth before a watched benchmark fails the gate.
 const DEFAULT_THRESHOLD: f64 = 0.25;
-/// Default watched groups: the GA-kNN fitness kernel and top-k selection.
-const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk";
+/// Default watched groups: the GA-kNN fitness kernel, top-k selection, and
+/// the database layer's scale queries and shard scans.
+const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk,db_query,db_shard_scan";
 
 struct Args {
     baseline: String,

@@ -10,13 +10,25 @@ pub mod harness;
 
 use datatrans_core::task::PredictionTask;
 use datatrans_dataset::database::PerfDatabase;
-use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_dataset::generator::{generate, generate_scaled, DatasetConfig, ScaleConfig};
 use datatrans_dataset::machine::ProcessorFamily;
+use datatrans_dataset::sharded::ShardedPerfDatabase;
 use datatrans_experiments::ExperimentConfig;
 
 /// The standard benchmark database (default seed).
 pub fn bench_database() -> PerfDatabase {
     generate(&DatasetConfig::default()).expect("default dataset generates")
+}
+
+/// The scale-test database for the `db_query`/`db_shard_scan` groups:
+/// 1000 machines × 29 benchmarks, default scale seed.
+pub fn bench_scaled_database() -> PerfDatabase {
+    generate_scaled(&ScaleConfig::default()).expect("default scale dataset generates")
+}
+
+/// The 1k-machine database partitioned into 8 column-range shards.
+pub fn bench_sharded_database(dense: &PerfDatabase) -> ShardedPerfDatabase {
+    ShardedPerfDatabase::from_dense(dense, 8).expect("8 shards over 1000 machines")
 }
 
 /// A representative single prediction task: Xeon family as targets,
@@ -48,5 +60,14 @@ mod tests {
         assert_eq!(task.n_targets(), 39);
         assert_eq!(task.n_benchmarks(), 28);
         assert_eq!(bench_config().max_apps, Some(2));
+    }
+
+    #[test]
+    fn scaled_fixtures_are_valid() {
+        let dense = bench_scaled_database();
+        assert_eq!(dense.n_machines(), 1000);
+        assert_eq!(dense.n_benchmarks(), 29);
+        let sharded = bench_sharded_database(&dense);
+        assert_eq!(sharded.n_shards(), 8);
     }
 }

@@ -9,7 +9,7 @@
 //! Eeckhout et al. cited in the paper's related work — transposed to
 //! machines.
 
-use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_linalg::{vecops, Matrix};
 use datatrans_ml::pca::Pca;
 use datatrans_ml::scale::StandardScaler;
@@ -81,8 +81,8 @@ impl MachineSpace {
 ///
 /// Returns [`CoreError::InvalidTask`] on out-of-range machine indices,
 /// or underlying ML errors for degenerate inputs.
-pub fn machine_space(
-    db: &PerfDatabase,
+pub fn machine_space<D: DatabaseView + ?Sized>(
+    db: &D,
     machines: &[usize],
     components: usize,
 ) -> Result<MachineSpace> {
@@ -115,6 +115,7 @@ pub fn machine_space(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use datatrans_dataset::database::PerfDatabase;
     use datatrans_dataset::generator::{generate, DatasetConfig};
 
     fn db() -> PerfDatabase {

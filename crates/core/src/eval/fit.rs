@@ -11,7 +11,7 @@
 //! comparable even for the one-machine predictive sets at the left edge of
 //! the sweep, where a strict residual-based R² degenerates.
 
-use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_parallel::Parallelism;
 use datatrans_stats::correlation::pearson;
 
@@ -64,12 +64,16 @@ pub struct FitCurvePoint {
 
 /// Sweeps the goodness-of-fit curve with MLPᵀ.
 ///
+/// Generic over the database backing ([`DatabaseView`]); random-draw
+/// workers read through per-worker handles, and the curve is
+/// bitwise-identical across backings and thread counts.
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] if the predictive pool is smaller than a requested
 /// `k`, or the model fails.
-pub fn goodness_of_fit_curve(
-    db: &PerfDatabase,
+pub fn goodness_of_fit_curve<D: DatabaseView + ?Sized>(
+    db: &D,
     config: &FitCurveConfig,
 ) -> Result<Vec<FitCurvePoint>> {
     if config.random_trials == 0 {
@@ -110,29 +114,32 @@ pub fn goodness_of_fit_curve(
         )?;
 
         // Each trial derives its own seed, so the draws fan out across the
-        // executor; summing the collected values in trial order keeps the
-        // float accumulation identical to the sequential loop.
-        let trial_r2s: Vec<Result<f64>> =
-            config
-                .parallelism
-                .par_map_indexed(2, config.random_trials, |trial| {
-                    let draw_seed = config
-                        .seed
-                        .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                        .wrapping_add((k as u64) << 32)
-                        .wrapping_add(trial as u64);
-                    let machines = select_random(&pool, k, draw_seed)?;
-                    // The trial fan-out above already owns the workers; a
-                    // nested per-app fan-out would only oversubscribe them.
-                    pooled_r2(
-                        db,
-                        &machines,
-                        &targets,
-                        &apps,
-                        draw_seed,
-                        Parallelism::Sequential,
-                    )
-                });
+        // executor (each worker reading through its own handle); summing
+        // the collected values in trial order keeps the float accumulation
+        // identical to the sequential loop.
+        let trial_r2s: Vec<Result<f64>> = config.parallelism.par_map_indexed_with(
+            2,
+            config.random_trials,
+            || db.reader(),
+            |reader, trial| {
+                let draw_seed = config
+                    .seed
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .wrapping_add((k as u64) << 32)
+                    .wrapping_add(trial as u64);
+                let machines = select_random(&pool, k, draw_seed)?;
+                // The trial fan-out above already owns the workers; a
+                // nested per-app fan-out would only oversubscribe them.
+                pooled_r2(
+                    reader,
+                    &machines,
+                    &targets,
+                    &apps,
+                    draw_seed,
+                    Parallelism::Sequential,
+                )
+            },
+        );
         let mut random_sum = 0.0;
         for r2 in trial_r2s {
             random_sum += r2?;
@@ -153,8 +160,8 @@ pub fn goodness_of_fit_curve(
 /// fan out across `parallelism` workers; fold results are merged back in
 /// application order before pooling, so the R² is bitwise-identical at any
 /// thread count.
-fn pooled_r2(
-    db: &PerfDatabase,
+fn pooled_r2<D: DatabaseView + ?Sized>(
+    db: &D,
     predictive: &[usize],
     targets: &[usize],
     apps: &[usize],

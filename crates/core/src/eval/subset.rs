@@ -5,7 +5,7 @@
 //! use three subset sizes: 10, 5 and 3." Random subsets are averaged over
 //! several trials.
 
-use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_parallel::Parallelism;
 
 use crate::eval::{CvCell, CvReport};
@@ -51,12 +51,16 @@ impl Default for SubsetConfig {
 /// `"size-{k}"`; trials are folded into the per-size aggregate (each trial
 /// contributes its own cells with the same fold label).
 ///
+/// Generic over the database backing ([`DatabaseView`]); draw workers read
+/// through per-worker handles, bitwise-identical across backings and
+/// thread counts.
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] if the pool is smaller than a requested size or a
 /// model fails.
-pub fn subset_evaluation(
-    db: &PerfDatabase,
+pub fn subset_evaluation<D: DatabaseView + ?Sized>(
+    db: &D,
     methods: &[Box<dyn Predictor + Send + Sync>],
     config: &SubsetConfig,
 ) -> Result<CvReport> {
@@ -90,7 +94,7 @@ pub fn subset_evaluation(
 
     // Fan the (size × trial) grid out across the executor; each draw has
     // its own derived seed, so the cells are order-independent.
-    let run_draw = |size: usize, trial: usize| -> Result<Vec<CvCell>> {
+    let run_draw = |view: &dyn DatabaseView, size: usize, trial: usize| -> Result<Vec<CvCell>> {
         let draw_seed = config
             .seed
             .wrapping_mul(0xA076_1D64_78BD_642F)
@@ -100,19 +104,19 @@ pub fn subset_evaluation(
         let mut cells = Vec::with_capacity(apps.len() * methods.len());
         for &app in &apps {
             let task = PredictionTask::leave_one_out(
-                db,
+                view,
                 app,
                 &predictive,
                 &targets,
                 draw_seed ^ (app as u64),
             )?;
-            let actual = PredictionTask::actual_scores(db, app, &targets);
+            let actual = PredictionTask::actual_scores(view, app, &targets);
             for method in methods {
                 let predicted = method.predict(&task)?;
                 let metrics = EvalMetrics::compute(&predicted, &actual)?;
                 cells.push(CvCell {
                     fold: format!("size-{size}"),
-                    app: db.benchmarks()[app].name.clone(),
+                    app: view.benchmarks()[app].name.clone(),
                     method: method.name().to_owned(),
                     metrics,
                 });
@@ -122,9 +126,18 @@ pub fn subset_evaluation(
     };
 
     let n_draws = config.sizes.len() * config.trials;
-    let results: Vec<Result<Vec<CvCell>>> = config.parallelism.par_map_indexed(2, n_draws, |idx| {
-        run_draw(config.sizes[idx / config.trials], idx % config.trials)
-    });
+    let results: Vec<Result<Vec<CvCell>>> = config.parallelism.par_map_indexed_with(
+        2,
+        n_draws,
+        || db.reader(),
+        |reader, idx| {
+            run_draw(
+                reader,
+                config.sizes[idx / config.trials],
+                idx % config.trials,
+            )
+        },
+    );
     let mut report = CvReport::default();
     for r in results {
         report.cells.extend(r?);

@@ -6,7 +6,7 @@
 //! distinguish three possibilities for the predictive set: the machines
 //! released in 2008, 2007 and pre-2007."
 
-use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_parallel::Parallelism;
 
 use crate::eval::{CvCell, CvReport};
@@ -35,7 +35,7 @@ impl PredictiveEra {
     ];
 
     /// Machine indices of this era in `db`.
-    pub fn machines(&self, db: &PerfDatabase) -> Vec<usize> {
+    pub fn machines<D: DatabaseView + ?Sized>(&self, db: &D) -> Vec<usize> {
         match self {
             PredictiveEra::Year2008 => db.machines_in_year(2008),
             PredictiveEra::Year2007 => db.machines_in_year(2007),
@@ -85,12 +85,18 @@ impl Default for TemporalConfig {
 /// Runs the temporal evaluation. Fold labels are the era names
 /// (`"2008"`, `"2007"`, `"older"`).
 ///
+/// Generic over the database backing ([`DatabaseView`]); grid workers read
+/// through per-worker handles (no shared lookup state), and an era's
+/// machines occupy contiguous column ranges, so era-side reads stay
+/// shard-local on a sharded backing. Reports are bitwise-identical across
+/// backings and thread counts.
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] if the target year or an era has no machines, or
 /// a model fails.
-pub fn temporal_evaluation(
-    db: &PerfDatabase,
+pub fn temporal_evaluation<D: DatabaseView + ?Sized>(
+    db: &D,
     methods: &[Box<dyn Predictor + Send + Sync>],
     config: &TemporalConfig,
 ) -> Result<CvReport> {
@@ -122,21 +128,25 @@ pub fn temporal_evaluation(
         era_machines.push((era, predictive));
     }
 
-    let run_cell = |era: PredictiveEra, predictive: &[usize], app: usize| -> Result<Vec<CvCell>> {
+    let run_cell = |view: &dyn DatabaseView,
+                    era: PredictiveEra,
+                    predictive: &[usize],
+                    app: usize|
+     -> Result<Vec<CvCell>> {
         let seed = config
             .seed
             .wrapping_mul(0xD1B5_4A32_D192_ED03)
             .wrapping_add((era as u64) << 24)
             .wrapping_add(app as u64);
-        let task = PredictionTask::leave_one_out(db, app, predictive, &targets, seed)?;
-        let actual = PredictionTask::actual_scores(db, app, &targets);
+        let task = PredictionTask::leave_one_out(view, app, predictive, &targets, seed)?;
+        let actual = PredictionTask::actual_scores(view, app, &targets);
         let mut cells = Vec::with_capacity(methods.len());
         for method in methods {
             let predicted = method.predict(&task)?;
             let metrics = EvalMetrics::compute(&predicted, &actual)?;
             cells.push(CvCell {
                 fold: era.to_string(),
-                app: db.benchmarks()[app].name.clone(),
+                app: view.benchmarks()[app].name.clone(),
                 method: method.name().to_owned(),
                 metrics,
             });
@@ -145,10 +155,15 @@ pub fn temporal_evaluation(
     };
 
     let n_cells = era_machines.len() * apps.len();
-    let results: Vec<Result<Vec<CvCell>>> = config.parallelism.par_map_indexed(2, n_cells, |idx| {
-        let (era, predictive) = &era_machines[idx / apps.len()];
-        run_cell(*era, predictive, apps[idx % apps.len()])
-    });
+    let results: Vec<Result<Vec<CvCell>>> = config.parallelism.par_map_indexed_with(
+        2,
+        n_cells,
+        || db.reader(),
+        |reader, idx| {
+            let (era, predictive) = &era_machines[idx / apps.len()];
+            run_cell(reader, *era, predictive, apps[idx % apps.len()])
+        },
+    );
     let mut report = CvReport::default();
     for r in results {
         report.cells.extend(r?);

@@ -7,7 +7,7 @@
 //! score vectors (log-scaled and standardized, so the clustering sees
 //! *behaviour*, not absolute speed).
 
-use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_linalg::Matrix;
 use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
 use datatrans_ml::scale::StandardScaler;
@@ -46,8 +46,8 @@ pub fn select_random(pool: &[usize], k: usize, seed: u64) -> Result<Vec<usize>> 
 /// * [`CoreError::InvalidTask`] if `k` is zero, exceeds the pool, or pool
 ///   indices are out of range.
 /// * [`CoreError::Ml`] if clustering fails.
-pub fn select_k_medoids(
-    db: &PerfDatabase,
+pub fn select_k_medoids<D: DatabaseView + ?Sized>(
+    db: &D,
     pool: &[usize],
     k: usize,
     seed: u64,
@@ -81,6 +81,7 @@ pub fn select_k_medoids(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use datatrans_dataset::database::PerfDatabase;
     use datatrans_dataset::generator::{generate, DatasetConfig};
 
     fn db() -> PerfDatabase {

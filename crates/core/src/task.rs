@@ -13,8 +13,8 @@
 //! baseline consumes (data transposition itself needs no profiling).
 
 use datatrans_dataset::characteristics::WorkloadCharacteristics;
-use datatrans_dataset::database::PerfDatabase;
 use datatrans_dataset::perf_model::spec_ratio;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_linalg::Matrix;
 
 use crate::{CoreError, Result};
@@ -114,6 +114,10 @@ impl PredictionTask {
     /// `app` is the application of interest; the remaining benchmarks are
     /// the training suite.
     ///
+    /// Generic over the database backing ([`DatabaseView`]): dense and
+    /// sharded backings produce bitwise-identical tasks, because the
+    /// gather copies stored scores verbatim either way.
+    ///
     /// The predictive and target machine sets must be disjoint, non-empty
     /// index sets into `db` (the cross-validation splits of Figure 5).
     ///
@@ -122,8 +126,8 @@ impl PredictionTask {
     /// Returns [`CoreError::InvalidTask`] for an out-of-range app index,
     /// overlapping or empty machine sets, and
     /// [`CoreError::Dataset`]/[`CoreError::Linalg`] on indexing failures.
-    pub fn leave_one_out(
-        db: &PerfDatabase,
+    pub fn leave_one_out<D: DatabaseView + ?Sized>(
+        db: &D,
         app: usize,
         predictive: &[usize],
         targets: &[usize],
@@ -168,8 +172,8 @@ impl PredictionTask {
     /// # Errors
     ///
     /// Same conditions as [`PredictionTask::leave_one_out`].
-    pub fn external_app(
-        db: &PerfDatabase,
+    pub fn external_app<D: DatabaseView + ?Sized>(
+        db: &D,
         app: &WorkloadCharacteristics,
         predictive: &[usize],
         targets: &[usize],
@@ -199,13 +203,17 @@ impl PredictionTask {
 
     /// Actual scores of benchmark `app` on the `targets` — the ground truth
     /// the evaluation compares against (never given to models).
-    pub fn actual_scores(db: &PerfDatabase, app: usize, targets: &[usize]) -> Vec<f64> {
+    pub fn actual_scores<D: DatabaseView + ?Sized>(
+        db: &D,
+        app: usize,
+        targets: &[usize],
+    ) -> Vec<f64> {
         targets.iter().map(|&m| db.score(app, m)).collect()
     }
 }
 
-fn validate_machine_split(
-    db: &PerfDatabase,
+fn validate_machine_split<D: DatabaseView + ?Sized>(
+    db: &D,
     predictive: &[usize],
     targets: &[usize],
 ) -> Result<()> {
@@ -234,19 +242,25 @@ fn validate_machine_split(
     Ok(())
 }
 
-/// Gathers the `benchmarks × machines` submatrix in one pass over the
-/// database's score matrix.
+/// Gathers the `benchmarks × machines` submatrix through the backing's
+/// [`DatabaseView::gather`].
 ///
 /// The predictive/target machine sets are arbitrary index subsets, so this
 /// gather is the one unavoidable copy of task construction (a strided view
 /// cannot express a scattered column subset). Everything downstream — the
 /// NNᵀ/MLPᵀ/GA-kNN predict paths — reads the gathered matrices through
-/// zero-copy views.
-fn score_submatrix(db: &PerfDatabase, benchmarks: &[usize], machines: &[usize]) -> Matrix {
-    db.score_matrix().select(benchmarks, machines)
+/// zero-copy views. Dense backings gather in one pass over the score
+/// matrix; sharded backings locate each column's shard once and copy
+/// verbatim, so the result is bitwise-identical.
+fn score_submatrix<D: DatabaseView + ?Sized>(
+    db: &D,
+    benchmarks: &[usize],
+    machines: &[usize],
+) -> Matrix {
+    db.gather(benchmarks, machines)
 }
 
-fn characteristics_matrix(db: &PerfDatabase, benchmarks: &[usize]) -> Matrix {
+fn characteristics_matrix<D: DatabaseView + ?Sized>(db: &D, benchmarks: &[usize]) -> Matrix {
     let dim = WorkloadCharacteristics::MICA_DIMS;
     let mut m = Matrix::zeros(benchmarks.len(), dim);
     for (i, &b) in benchmarks.iter().enumerate() {
@@ -261,6 +275,7 @@ fn characteristics_matrix(db: &PerfDatabase, benchmarks: &[usize]) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use datatrans_dataset::database::PerfDatabase;
     use datatrans_dataset::generator::{generate, DatasetConfig};
     use datatrans_dataset::machine::ProcessorFamily;
 

@@ -187,6 +187,56 @@ pub fn build_machines(seed: u64) -> Vec<Machine> {
     machines
 }
 
+/// Instantiates a scale-test catalog of exactly `n` machines.
+///
+/// The 39 nickname templates are expanded in Table 1 order, each
+/// contributing `n / 39` machines (the first `n % 39` nicknames one more),
+/// so machines of one nickname — and therefore one processor family — stay
+/// **contiguous in column order** exactly like the paper catalog. That
+/// contiguity is what lets family folds and release-year eras map onto
+/// column-range shards.
+///
+/// Per-instance variation follows the same three SKU grades as
+/// [`build_machines`], cycling every three instances, with slightly wider
+/// jitter so a 10k-machine catalog does not collapse onto 117 points.
+/// Deterministic given `(seed, n)`.
+pub fn build_scaled_machines(seed: u64, n: usize) -> Vec<Machine> {
+    let specs = nickname_specs();
+    let base = n / specs.len();
+    let extra = n % specs.len();
+    let mut machines = Vec::with_capacity(n);
+    for (si, s) in specs.iter().enumerate() {
+        let count = base + usize::from(si < extra);
+        for instance in 0..count {
+            // Each (nickname, instance) has its own deterministic stream,
+            // disjoint from the Table 1 catalog's streams.
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ 0x5CA1_ED00_0000_0000
+                    ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (instance as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            );
+            let mut micro = s.template;
+            let clock_grade = [1.10, 1.00, 0.88][instance % 3];
+            let bw_grade = [0.86, 1.00, 1.18][instance % 3];
+            let lat_grade = [1.08, 1.00, 0.90][instance % 3];
+            micro.freq_ghz *= clock_grade * (1.0 + rng.gen_range(-0.05..0.05));
+            micro.mem_bw_gbs *= bw_grade * (1.0 + rng.gen_range(-0.08..0.08));
+            micro.mem_lat_ns *= lat_grade * (1.0 + rng.gen_range(-0.08..0.08));
+            micro.l2_kib *= 1.0 + rng.gen_range(-0.05..0.05);
+            micro.prefetch_eff =
+                (micro.prefetch_eff * (1.0 + rng.gen_range(-0.08..0.08))).clamp(0.0, 1.0);
+            machines.push(Machine {
+                name: format!("{} ·{}", s.nickname, instance + 1),
+                family: s.family,
+                nickname: s.nickname.to_owned(),
+                year: s.year,
+                micro,
+            });
+        }
+    }
+    machines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +317,47 @@ mod tests {
             .collect();
         assert_eq!(full.len(), 117);
         assert!(names.len() >= 39);
+    }
+
+    #[test]
+    fn scaled_catalog_has_exact_count_and_contiguous_families() {
+        for n in [39usize, 40, 117, 500, 1000] {
+            let machines = build_scaled_machines(7, n);
+            assert_eq!(machines.len(), n);
+            // Families form contiguous runs: once a family ends it never
+            // reappears (the property shard layouts rely on).
+            let mut seen = std::collections::BTreeSet::new();
+            let mut current = None;
+            for m in &machines {
+                if current != Some(m.family) {
+                    assert!(
+                        seen.insert(m.family),
+                        "family {} reappears at n={n}",
+                        m.family
+                    );
+                    current = Some(m.family);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_catalog_is_deterministic_and_plausible() {
+        assert_eq!(build_scaled_machines(3, 200), build_scaled_machines(3, 200));
+        assert_ne!(build_scaled_machines(3, 200), build_scaled_machines(4, 200));
+        for m in build_scaled_machines(11, 1000) {
+            assert!(m.micro.is_plausible(), "{} implausible", m.name);
+        }
+    }
+
+    #[test]
+    fn scaled_instances_of_a_nickname_differ() {
+        let machines = build_scaled_machines(42, 390);
+        // 390 = 39 × 10: ten instances per nickname, first ten share one.
+        assert_eq!(machines[0].nickname, machines[9].nickname);
+        for w in machines[..10].windows(2) {
+            assert_ne!(w[0].micro, w[1].micro);
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use datatrans_linalg::{Matrix, VecView};
 
 use crate::benchmark::Benchmark;
 use crate::machine::{Machine, ProcessorFamily};
+use crate::view::{DatabaseView, DbReader, RowSegment};
 use crate::{DatasetError, Result};
 
 /// A complete performance database.
@@ -28,14 +29,21 @@ impl PerfDatabase {
     ///
     /// # Errors
     ///
-    /// Returns [`DatasetError::InvalidConfig`] if the score length does not
-    /// equal `benchmarks × machines`, or if any score is not finite and
-    /// positive.
+    /// Returns [`DatasetError::Empty`] if `benchmarks` or `machines` is
+    /// empty (a zero-area score matrix is not a database), and
+    /// [`DatasetError::InvalidConfig`] if the score length does not equal
+    /// `benchmarks × machines`, or if any score is not finite and positive.
     pub fn new(
         benchmarks: Vec<Benchmark>,
         machines: Vec<Machine>,
         scores: Vec<f64>,
     ) -> Result<Self> {
+        if benchmarks.is_empty() {
+            return Err(DatasetError::Empty { what: "benchmarks" });
+        }
+        if machines.is_empty() {
+            return Err(DatasetError::Empty { what: "machines" });
+        }
         if scores.iter().any(|s| !s.is_finite() || *s <= 0.0) {
             return Err(DatasetError::InvalidConfig {
                 name: "scores",
@@ -182,6 +190,48 @@ impl PerfDatabase {
     }
 }
 
+impl DatabaseView for PerfDatabase {
+    fn n_benchmarks(&self) -> usize {
+        PerfDatabase::n_benchmarks(self)
+    }
+
+    fn n_machines(&self) -> usize {
+        PerfDatabase::n_machines(self)
+    }
+
+    fn benchmarks(&self) -> &[Benchmark] {
+        PerfDatabase::benchmarks(self)
+    }
+
+    fn machines(&self) -> &[Machine] {
+        PerfDatabase::machines(self)
+    }
+
+    fn score(&self, b: usize, m: usize) -> f64 {
+        PerfDatabase::score(self, b, m)
+    }
+
+    fn machine_column(&self, m: usize) -> VecView<'_> {
+        PerfDatabase::machine_column(self, m)
+    }
+
+    fn benchmark_row_segments(&self, b: usize) -> Vec<RowSegment<'_>> {
+        vec![RowSegment {
+            start: 0,
+            scores: self.benchmark_row(b),
+        }]
+    }
+
+    fn gather(&self, benchmarks: &[usize], machines: &[usize]) -> Matrix {
+        // One-pass scattered gather over the dense matrix.
+        self.scores.select(benchmarks, machines)
+    }
+
+    fn reader(&self) -> DbReader<'_> {
+        DbReader::Dense(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +310,62 @@ mod tests {
             vec![-1.0; 29 * 117],
         );
         assert!(neg.is_err());
+    }
+
+    #[test]
+    fn new_rejects_empty_benchmarks() {
+        let db = db();
+        // A 0 × 117 database would pass the old length check (0 scores for
+        // a zero-area matrix) and panic later in every accessor; it must be
+        // an explicit error instead.
+        assert_eq!(
+            PerfDatabase::new(Vec::new(), db.machines().to_vec(), Vec::new()),
+            Err(DatasetError::Empty { what: "benchmarks" })
+        );
+    }
+
+    #[test]
+    fn new_rejects_empty_machines() {
+        let db = db();
+        assert_eq!(
+            PerfDatabase::new(db.benchmarks().to_vec(), Vec::new(), Vec::new()),
+            Err(DatasetError::Empty { what: "machines" })
+        );
+    }
+
+    #[test]
+    fn new_rejects_zero_area_matrix() {
+        // Both dimensions empty: the zero-area matrix case. The benchmarks
+        // check fires first; the point is that it cannot construct.
+        assert_eq!(
+            PerfDatabase::new(Vec::new(), Vec::new(), Vec::new()),
+            Err(DatasetError::Empty { what: "benchmarks" })
+        );
+        // Non-empty scores with empty dimensions must not sneak through
+        // either.
+        let db = db();
+        assert!(PerfDatabase::new(Vec::new(), db.machines().to_vec(), vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn trait_and_inherent_accessors_agree() {
+        let db = db();
+        let view: &dyn DatabaseView = &db;
+        assert_eq!(view.n_benchmarks(), db.n_benchmarks());
+        assert_eq!(view.n_machines(), db.n_machines());
+        assert_eq!(view.score(3, 5).to_bits(), db.score(3, 5).to_bits());
+        assert_eq!(
+            view.machine_column(5).to_vec(),
+            db.machine_column(5).to_vec()
+        );
+        let segments = view.benchmark_row_segments(3);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].start, 0);
+        assert_eq!(segments[0].scores, db.benchmark_row(3));
+        assert_eq!(view.benchmark_row_vec(3), db.benchmark_row(3));
+        let sub = view.gather(&[0, 3], &[5, 2, 116]);
+        assert_eq!(sub.shape(), (2, 3));
+        assert_eq!(sub[(1, 2)].to_bits(), db.score(3, 116).to_bits());
+        assert_eq!(view.n_shards(), 1);
     }
 }

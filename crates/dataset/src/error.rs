@@ -28,6 +28,12 @@ pub enum DatasetError {
         /// The name that was not found.
         name: String,
     },
+    /// A required collection was empty (no benchmarks, no machines, or a
+    /// zero-area score matrix).
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -41,6 +47,9 @@ impl fmt::Display for DatasetError {
             }
             DatasetError::NotFound { what, name } => {
                 write!(f, "{what} not found: {name}")
+            }
+            DatasetError::Empty { what } => {
+                write!(f, "{what} must not be empty")
             }
         }
     }

@@ -3,9 +3,10 @@
 use datatrans_rng::rngs::StdRng;
 use datatrans_rng::{Rng, SeedableRng};
 
-use crate::benchmark::spec_cpu2006;
-use crate::catalog::build_machines;
+use crate::benchmark::{spec_cpu2006, Benchmark};
+use crate::catalog::{build_machines, build_scaled_machines};
 use crate::database::PerfDatabase;
+use crate::machine::Machine;
 use crate::perf_model::spec_ratio;
 use crate::{DatasetError, Result};
 
@@ -80,17 +81,124 @@ pub fn generate(config: &DatasetConfig) -> Result<PerfDatabase> {
     config.validate()?;
     let benchmarks = spec_cpu2006();
     let machines = build_machines(config.seed);
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xA24B_AED4_963E_E407));
+    score_catalog(benchmarks, machines, config.seed, config.noise_sigma)
+}
 
+/// Evaluates the CPI-stack model over `benchmarks × machines` and applies
+/// multiplicative lognormal measurement noise — the shared scoring tail of
+/// [`generate`] and [`generate_scaled`].
+fn score_catalog(
+    benchmarks: Vec<Benchmark>,
+    machines: Vec<Machine>,
+    seed: u64,
+    noise_sigma: f64,
+) -> Result<PerfDatabase> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407));
     let mut scores = Vec::with_capacity(benchmarks.len() * machines.len());
     for b in &benchmarks {
         for m in &machines {
             let clean = spec_ratio(&m.micro, &b.characteristics);
-            let noisy = clean * (config.noise_sigma * gaussian(&mut rng)).exp();
+            let noisy = clean * (noise_sigma * gaussian(&mut rng)).exp();
             scores.push(noisy);
         }
     }
     PerfDatabase::new(benchmarks, machines, scores)
+}
+
+/// Configuration of the scale-test dataset generator.
+///
+/// Where [`DatasetConfig`] reproduces the paper's fixed 29 × 117 matrix,
+/// `ScaleConfig` synthesizes catalogs orders of magnitude larger —
+/// 1k–10k machines — for the sharded database's scale tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleConfig {
+    /// Master seed; the whole catalog is a pure function of it.
+    pub seed: u64,
+    /// Multiplicative lognormal measurement-noise sigma (as in
+    /// [`DatasetConfig::noise_sigma`]).
+    pub noise_sigma: f64,
+    /// Number of machines (columns). The 39 nickname templates are
+    /// expanded round-robin, keeping each processor family's machines
+    /// contiguous in column order.
+    pub n_machines: usize,
+    /// Number of benchmarks (rows): the 29 SPEC CPU2006 benchmarks first,
+    /// then deterministic synthetics
+    /// ([`crate::workload_synth::synthesize_suite`]).
+    pub n_benchmarks: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            seed: 0x5CA1_AB1E,
+            noise_sigma: 0.015,
+            n_machines: 1000,
+            n_benchmarks: 29,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `noise_sigma` is outside
+    /// `[0, 0.5]` or either dimension is zero.
+    pub fn validate(&self) -> Result<()> {
+        if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 || self.noise_sigma > 0.5 {
+            return Err(DatasetError::InvalidConfig {
+                name: "noise_sigma",
+                value: self.noise_sigma.to_string(),
+            });
+        }
+        if self.n_machines == 0 {
+            return Err(DatasetError::InvalidConfig {
+                name: "n_machines",
+                value: "0".into(),
+            });
+        }
+        if self.n_benchmarks == 0 {
+            return Err(DatasetError::InvalidConfig {
+                name: "n_benchmarks",
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generates a scale-test performance database of
+/// `n_benchmarks × n_machines`.
+///
+/// Same pipeline as [`generate`] — catalog, CPI-stack model, lognormal
+/// noise — over the scale catalog of
+/// [`build_scaled_machines`] and the extended suite of
+/// [`crate::workload_synth::synthesize_suite`]. Deterministic given the
+/// config; the committed golden digest in `tests/determinism.rs` pins the
+/// 1k-machine catalog against generator drift.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] on invalid configuration.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_dataset::generator::{generate_scaled, ScaleConfig};
+///
+/// # fn main() -> Result<(), datatrans_dataset::DatasetError> {
+/// let db = generate_scaled(&ScaleConfig { n_machines: 200, ..ScaleConfig::default() })?;
+/// assert_eq!(db.n_machines(), 200);
+/// assert_eq!(db.n_benchmarks(), 29);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_scaled(config: &ScaleConfig) -> Result<PerfDatabase> {
+    config.validate()?;
+    let benchmarks = crate::workload_synth::synthesize_suite(config.n_benchmarks, config.seed);
+    let machines = build_scaled_machines(config.seed, config.n_machines);
+    score_catalog(benchmarks, machines, config.seed, config.noise_sigma)
 }
 
 #[cfg(test)]
@@ -167,6 +275,45 @@ mod tests {
         assert!(generate(&DatasetConfig {
             seed: 1,
             noise_sigma: f64::NAN
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic_and_valid() {
+        let config = ScaleConfig {
+            n_machines: 150,
+            n_benchmarks: 33,
+            ..ScaleConfig::default()
+        };
+        let a = generate_scaled(&config).unwrap();
+        let b = generate_scaled(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.n_machines(), 150);
+        assert_eq!(a.n_benchmarks(), 33);
+        for bench in 0..a.n_benchmarks() {
+            for m in 0..a.n_machines() {
+                let s = a.score(bench, m);
+                assert!(s.is_finite() && s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_generation_validates_config() {
+        assert!(generate_scaled(&ScaleConfig {
+            n_machines: 0,
+            ..ScaleConfig::default()
+        })
+        .is_err());
+        assert!(generate_scaled(&ScaleConfig {
+            n_benchmarks: 0,
+            ..ScaleConfig::default()
+        })
+        .is_err());
+        assert!(generate_scaled(&ScaleConfig {
+            noise_sigma: -1.0,
+            ..ScaleConfig::default()
         })
         .is_err());
     }

@@ -21,6 +21,11 @@
 //!   [`database::PerfDatabase`], with measurement noise.
 //! * [`workload_synth`] — synthesis of *applications of interest* that are
 //!   not part of the suite, for end-to-end examples.
+//! * [`view`] — the backing-agnostic [`view::DatabaseView`] read surface
+//!   every consumer goes through.
+//! * [`sharded`] — the same table partitioned into machine-range shards
+//!   ([`sharded::ShardedPerfDatabase`]) for serving-scale catalogs; bitwise
+//!   interchangeable with the dense backing.
 //!
 //! # Example
 //!
@@ -50,9 +55,13 @@ pub mod generator;
 pub mod machine;
 pub mod microarch;
 pub mod perf_model;
+pub mod sharded;
+pub mod view;
 pub mod workload_synth;
 
 pub use error::DatasetError;
+pub use sharded::ShardedPerfDatabase;
+pub use view::{DatabaseView, DbReader};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, DatasetError>;

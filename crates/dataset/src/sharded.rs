@@ -1,0 +1,480 @@
+//! Column-range sharding of the performance database.
+//!
+//! A [`ShardedPerfDatabase`] stores the same logical `benchmarks ×
+//! machines` table as [`PerfDatabase`], partitioned by **machine range**:
+//! shard `s` owns a contiguous block of machine columns as its own dense
+//! [`Matrix`] plus the matching slice of machine metadata. Machine ranges
+//! are balanced — when the shard count does not divide the machine count,
+//! the first `n_machines % n_shards` shards are one column wider.
+//!
+//! Partitioning by machine range matches the read patterns of the
+//! evaluation harnesses: a processor-family fold or a release-year era
+//! selects machine index ranges that are contiguous in catalog order, so
+//! those selections read from one shard (or a handful of neighbours) —
+//! though a fold's complementary predictive gather still spans the
+//! remaining shards. Scores are **copied, never recomputed** when
+//! sharding, so every accessor is bitwise-identical to the dense backing
+//! (`tests/shard_equivalence.rs` pins this).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use datatrans_linalg::{Matrix, VecView};
+
+use crate::benchmark::Benchmark;
+use crate::database::PerfDatabase;
+use crate::machine::Machine;
+use crate::view::{DatabaseView, DbReader, RowSegment};
+use crate::{DatasetError, Result};
+
+/// One shard: a contiguous block of machine columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// Global index of the shard's first machine column.
+    start: usize,
+    /// `benchmarks × width` score block (row-major, like the dense matrix).
+    scores: Matrix,
+}
+
+impl Shard {
+    /// Global index of the shard's first machine column.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of machine columns this shard owns.
+    pub fn width(&self) -> usize {
+        self.scores.cols()
+    }
+
+    /// Global machine index range `start .. start + width`.
+    pub fn machine_range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.width()
+    }
+
+    /// The shard's `benchmarks × width` score block.
+    pub fn scores(&self) -> &Matrix {
+        &self.scores
+    }
+
+    /// This shard's segment of benchmark row `b` (scores of machines
+    /// `start .. start + width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of bounds.
+    pub fn row(&self, b: usize) -> &[f64] {
+        self.scores.row(b)
+    }
+}
+
+/// The performance database partitioned into column-range shards.
+///
+/// Implements [`DatabaseView`], so every consumer generic over the view
+/// trait works on a sharded backing unchanged — and bitwise-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedPerfDatabase {
+    benchmarks: Vec<Benchmark>,
+    machines: Vec<Machine>,
+    shards: Vec<Shard>,
+    /// Width of the trailing (narrow) shards: `n_machines / n_shards`.
+    base_width: usize,
+    /// Number of leading shards that are one column wider:
+    /// `n_machines % n_shards`.
+    wide_shards: usize,
+}
+
+impl ShardedPerfDatabase {
+    /// Assembles a sharded database from parts (same validation as
+    /// [`PerfDatabase::new`], then sharding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Empty`]/[`DatasetError::InvalidConfig`] under
+    /// the same conditions as [`PerfDatabase::new`], plus
+    /// [`DatasetError::InvalidConfig`] for a shard count of zero or greater
+    /// than the machine count.
+    pub fn new(
+        benchmarks: Vec<Benchmark>,
+        machines: Vec<Machine>,
+        scores: Vec<f64>,
+        n_shards: usize,
+    ) -> Result<Self> {
+        let dense = PerfDatabase::new(benchmarks, machines, scores)?;
+        Self::from_dense(&dense, n_shards)
+    }
+
+    /// Partitions a dense database into `n_shards` column-range shards.
+    ///
+    /// Shard widths are balanced: the first `n_machines % n_shards` shards
+    /// get `n_machines / n_shards + 1` columns, the rest one less. Scores
+    /// are copied verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `n_shards` is zero or
+    /// exceeds the machine count (a shard must own at least one column).
+    pub fn from_dense(db: &PerfDatabase, n_shards: usize) -> Result<Self> {
+        let n_machines = db.n_machines();
+        if n_shards == 0 || n_shards > n_machines {
+            return Err(DatasetError::InvalidConfig {
+                name: "n_shards",
+                value: format!("{n_shards} (must be 1..={n_machines} machines)"),
+            });
+        }
+        let base_width = n_machines / n_shards;
+        let wide_shards = n_machines % n_shards;
+        let n_benchmarks = db.n_benchmarks();
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut start = 0;
+        for s in 0..n_shards {
+            let width = base_width + usize::from(s < wide_shards);
+            let mut block = Vec::with_capacity(n_benchmarks * width);
+            for b in 0..n_benchmarks {
+                block.extend_from_slice(&db.benchmark_row(b)[start..start + width]);
+            }
+            let scores = Matrix::from_vec(n_benchmarks, width, block)
+                .expect("shard block has exactly benchmarks × width entries");
+            shards.push(Shard { start, scores });
+            start += width;
+        }
+        debug_assert_eq!(start, n_machines);
+        Ok(ShardedPerfDatabase {
+            benchmarks: db.benchmarks().to_vec(),
+            machines: db.machines().to_vec(),
+            shards,
+            base_width,
+            wide_shards,
+        })
+    }
+
+    /// Reassembles the dense equivalent (bitwise-identical scores).
+    pub fn to_dense(&self) -> PerfDatabase {
+        let n_benchmarks = self.benchmarks.len();
+        let mut scores = Vec::with_capacity(n_benchmarks * self.machines.len());
+        for b in 0..n_benchmarks {
+            for shard in &self.shards {
+                scores.extend_from_slice(shard.row(b));
+            }
+        }
+        PerfDatabase::new(self.benchmarks.clone(), self.machines.clone(), scores)
+            .expect("a valid sharded database reassembles into a valid dense one")
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in machine order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn shard(&self, s: usize) -> &Shard {
+        &self.shards[s]
+    }
+
+    /// The machine metadata slice owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn shard_machines(&self, s: usize) -> &[Machine] {
+        &self.machines[self.shards[s].machine_range()]
+    }
+
+    /// Index of the shard owning machine column `m` (O(1): shard widths
+    /// are balanced by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of bounds.
+    pub fn shard_of(&self, m: usize) -> usize {
+        assert!(m < self.machines.len(), "machine index out of bounds");
+        let wide_cols = self.wide_shards * (self.base_width + 1);
+        if m < wide_cols {
+            m / (self.base_width + 1)
+        } else {
+            self.wide_shards + (m - wide_cols) / self.base_width
+        }
+    }
+
+    /// Locates machine column `m`: `(shard index, column local to shard)`.
+    fn locate(&self, m: usize) -> (usize, usize) {
+        let s = self.shard_of(m);
+        (s, m - self.shards[s].start)
+    }
+}
+
+impl DatabaseView for ShardedPerfDatabase {
+    fn n_benchmarks(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    fn score(&self, b: usize, m: usize) -> f64 {
+        assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
+        let (s, local) = self.locate(m);
+        self.shards[s].scores[(b, local)]
+    }
+
+    fn machine_column(&self, m: usize) -> VecView<'_> {
+        let (s, local) = self.locate(m);
+        self.shards[s].scores.col_view(local)
+    }
+
+    fn benchmark_row_segments(&self, b: usize) -> Vec<RowSegment<'_>> {
+        self.shards
+            .iter()
+            .map(|shard| RowSegment {
+                start: shard.start,
+                scores: shard.row(b),
+            })
+            .collect()
+    }
+
+    fn gather(&self, benchmarks: &[usize], machines: &[usize]) -> Matrix {
+        // Locate every requested column once, then copy row-major so each
+        // shard block is read sequentially per output row. Values are moved
+        // verbatim, so the result is bitwise-identical to a dense gather.
+        let locations: Vec<(usize, usize)> = machines.iter().map(|&m| self.locate(m)).collect();
+        for &b in benchmarks {
+            assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
+        }
+        let mut out = Matrix::zeros(benchmarks.len(), machines.len());
+        for (i, &b) in benchmarks.iter().enumerate() {
+            let row = out.row_mut(i);
+            // Requested columns cluster into runs within one shard (family
+            // and era selections are contiguous ranges), so resolve the
+            // shard's row slice once per run, not once per element.
+            let mut current_shard = usize::MAX;
+            let mut shard_row: &[f64] = &[];
+            for (slot, &(s, local)) in row.iter_mut().zip(&locations) {
+                if s != current_shard {
+                    shard_row = self.shards[s].row(b);
+                    current_shard = s;
+                }
+                *slot = shard_row[local];
+            }
+        }
+        out
+    }
+
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn reader(&self) -> DbReader<'_> {
+        DbReader::Sharded(ShardReader {
+            db: self,
+            last: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// A per-worker read handle over a sharded database that caches the shard
+/// serving the most recent lookup.
+///
+/// Harness workers sweep machine ranges (a family's columns, an era's
+/// columns) that live in one or two shards; the cache turns the per-lookup
+/// shard location into a single range check. The cache only affects lookup
+/// *speed* — the value read is always the same stored `f64` — which is the
+/// per-worker-scratch contract of `Parallelism::par_map_with`: scratch
+/// holds no part of the computed result.
+#[derive(Debug)]
+pub struct ShardReader<'a> {
+    db: &'a ShardedPerfDatabase,
+    /// Index of the shard that served the last lookup (relaxed atomic so
+    /// the handle stays `Sync` for `&dyn DatabaseView` use; handles are
+    /// per-worker, so there is no contention in practice).
+    last: AtomicUsize,
+}
+
+impl<'a> ShardReader<'a> {
+    /// The underlying sharded database.
+    pub fn database(&self) -> &'a ShardedPerfDatabase {
+        self.db
+    }
+
+    /// Locates machine `m`, consulting the cached shard first.
+    fn locate(&self, m: usize) -> (usize, usize) {
+        assert!(m < self.db.machines.len(), "machine index out of bounds");
+        let cached = self.last.load(Ordering::Relaxed);
+        if let Some(shard) = self.db.shards.get(cached) {
+            if shard.machine_range().contains(&m) {
+                return (cached, m - shard.start);
+            }
+        }
+        let (s, local) = self.db.locate(m);
+        self.last.store(s, Ordering::Relaxed);
+        (s, local)
+    }
+}
+
+impl DatabaseView for ShardReader<'_> {
+    fn n_benchmarks(&self) -> usize {
+        self.db.benchmarks.len()
+    }
+
+    fn n_machines(&self) -> usize {
+        self.db.machines.len()
+    }
+
+    fn benchmarks(&self) -> &[Benchmark] {
+        &self.db.benchmarks
+    }
+
+    fn machines(&self) -> &[Machine] {
+        &self.db.machines
+    }
+
+    fn score(&self, b: usize, m: usize) -> f64 {
+        assert!(
+            b < self.db.benchmarks.len(),
+            "benchmark index out of bounds"
+        );
+        let (s, local) = self.locate(m);
+        self.db.shards[s].scores[(b, local)]
+    }
+
+    fn machine_column(&self, m: usize) -> VecView<'_> {
+        let (s, local) = self.locate(m);
+        self.db.shards[s].scores.col_view(local)
+    }
+
+    fn benchmark_row_segments(&self, b: usize) -> Vec<RowSegment<'_>> {
+        self.db.benchmark_row_segments(b)
+    }
+
+    fn gather(&self, benchmarks: &[usize], machines: &[usize]) -> Matrix {
+        // The bulk gather already locates each column exactly once; the
+        // cursor would add nothing.
+        self.db.gather(benchmarks, machines)
+    }
+
+    fn n_shards(&self) -> usize {
+        self.db.shards.len()
+    }
+
+    fn reader(&self) -> DbReader<'_> {
+        self.db.reader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, DatasetConfig};
+
+    fn dense() -> PerfDatabase {
+        generate(&DatasetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn shard_widths_are_balanced_and_cover_all_machines() {
+        let db = dense();
+        for n_shards in [1, 2, 3, 4, 5, 8, 116, 117] {
+            let sharded = ShardedPerfDatabase::from_dense(&db, n_shards).unwrap();
+            assert_eq!(sharded.n_shards(), n_shards);
+            let widths: Vec<usize> = sharded.shards().iter().map(Shard::width).collect();
+            assert_eq!(widths.iter().sum::<usize>(), 117);
+            let min = *widths.iter().min().unwrap();
+            let max = *widths.iter().max().unwrap();
+            assert!(max - min <= 1, "{n_shards} shards: widths {widths:?}");
+            // Contiguous, in order.
+            let mut next = 0;
+            for shard in sharded.shards() {
+                assert_eq!(shard.start(), next);
+                next = shard.machine_range().end;
+            }
+            assert_eq!(next, 117);
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let db = dense();
+        for n_shards in [1, 2, 5, 39, 117] {
+            let sharded = ShardedPerfDatabase::from_dense(&db, n_shards).unwrap();
+            for m in 0..117 {
+                let s = sharded.shard_of(m);
+                assert!(
+                    sharded.shard(s).machine_range().contains(&m),
+                    "{n_shards} shards, machine {m} -> shard {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_through_dense_bitwise() {
+        let db = dense();
+        for n_shards in [1, 4, 7, 117] {
+            let sharded = ShardedPerfDatabase::from_dense(&db, n_shards).unwrap();
+            assert_eq!(sharded.to_dense(), db, "{n_shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_machines_slice_matches_metadata() {
+        let db = dense();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 5).unwrap();
+        for s in 0..sharded.n_shards() {
+            let range = sharded.shard(s).machine_range();
+            assert_eq!(sharded.shard_machines(s), &db.machines()[range]);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_shard_counts() {
+        let db = dense();
+        assert!(matches!(
+            ShardedPerfDatabase::from_dense(&db, 0),
+            Err(DatasetError::InvalidConfig {
+                name: "n_shards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedPerfDatabase::from_dense(&db, 118),
+            Err(DatasetError::InvalidConfig {
+                name: "n_shards",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn reader_cache_never_changes_values() {
+        let db = dense();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 4).unwrap();
+        let reader = sharded.reader();
+        // Alternate between distant columns so the cache keeps missing,
+        // then re-hitting; every value must still match the dense backing.
+        for &m in &[0usize, 116, 1, 115, 58, 59, 58, 0] {
+            for b in 0..db.n_benchmarks() {
+                assert_eq!(
+                    reader.score(b, m).to_bits(),
+                    db.score(b, m).to_bits(),
+                    "b={b} m={m}"
+                );
+            }
+        }
+    }
+}

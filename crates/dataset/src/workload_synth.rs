@@ -10,6 +10,7 @@
 use datatrans_rng::rngs::StdRng;
 use datatrans_rng::{Rng, SeedableRng};
 
+use crate::benchmark::{spec_cpu2006, Benchmark, Suite};
 use crate::characteristics::WorkloadCharacteristics;
 
 /// Domain flavour of a synthesized application of interest.
@@ -147,6 +148,36 @@ pub fn synthesize(profile: WorkloadProfile, seed: u64) -> WorkloadCharacteristic
     w
 }
 
+/// Synthesizes an `n`-benchmark suite for scale-generated catalogs.
+///
+/// The 29 SPEC CPU2006 benchmarks come first (truncated if `n < 29`), so
+/// every scale catalog is a superset of the paper's suite; the remainder
+/// are deterministic domain-flavoured synthetics cycling through
+/// [`WorkloadProfile::ALL`], named `synth-{profile}-{index}`. Deterministic
+/// given `(n, seed)`.
+pub fn synthesize_suite(n: usize, seed: u64) -> Vec<Benchmark> {
+    let mut suite = spec_cpu2006();
+    suite.truncate(n);
+    for k in suite.len()..n {
+        let profile = WorkloadProfile::ALL[k % WorkloadProfile::ALL.len()];
+        let characteristics = synthesize(
+            profile,
+            seed ^ (k as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        suite.push(Benchmark {
+            name: format!("synth-{profile}-{k:04}"),
+            suite: if characteristics.fp_fraction > 0.15 {
+                Suite::Fp
+            } else {
+                Suite::Int
+            },
+            domain: format!("synthetic {profile} workload"),
+            characteristics,
+        });
+    }
+    suite
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +213,25 @@ mod tests {
         assert!(sci.fp_fraction > 0.2);
         assert!(stream.stream_fraction > ptr.stream_fraction);
         assert!(ptr.ilp < sci.ilp);
+    }
+
+    #[test]
+    fn synthesized_suite_extends_the_spec_suite() {
+        let suite = synthesize_suite(40, 9);
+        assert_eq!(suite.len(), 40);
+        let spec = crate::benchmark::spec_cpu2006();
+        assert_eq!(&suite[..29], &spec[..]);
+        for (k, b) in suite.iter().enumerate().skip(29) {
+            assert!(b.name.starts_with("synth-"), "{}", b.name);
+            assert!(b.characteristics.is_plausible(), "bench {k}");
+        }
+        // Truncation keeps a prefix of the real suite.
+        let small = synthesize_suite(5, 9);
+        assert_eq!(&small[..], &spec[..5]);
+        // Deterministic; seed only affects the synthetic tail.
+        assert_eq!(synthesize_suite(40, 9), synthesize_suite(40, 9));
+        assert_ne!(synthesize_suite(40, 9), synthesize_suite(40, 10));
+        assert_eq!(synthesize_suite(29, 1), synthesize_suite(29, 2));
     }
 
     #[test]

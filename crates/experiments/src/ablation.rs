@@ -138,16 +138,17 @@ fn variants(config: &ExperimentConfig) -> Vec<Variant> {
 ///
 /// Propagates harness and model failures.
 pub fn run(config: &ExperimentConfig) -> Result<AblationResult> {
-    let db = config.build_database()?;
+    let backing = config.build_backing()?;
+    let db = backing.view();
     let apps = config
-        .app_indices(&db)
+        .app_indices(db)
         .unwrap_or_else(|| (0..db.n_benchmarks()).collect());
     // Fan out over the variants; the inner two-fold CV stays sequential so
     // the variant grid owns the cores.
     let results: Vec<Result<AblationRow>> =
         config.parallelism.par_map(2, &variants(config), |variant| {
             let report = family_cross_validation(
-                &db,
+                db,
                 std::slice::from_ref(&variant.method),
                 &FamilyCvConfig {
                     seed: config.seed,

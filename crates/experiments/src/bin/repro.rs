@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]
+//! repro [--quick] [--seed N] [--shards N] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]
 //! ```
 
 use std::env;
@@ -11,10 +11,12 @@ use std::time::Instant;
 use datatrans_experiments::{ablation, fig6, fig7, fig8, table2, table3, table4, ExperimentConfig};
 
 fn usage() -> &'static str {
-    "usage: repro [--quick] [--seed N] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]\n\
+    "usage: repro [--quick] [--seed N] [--shards N] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]\n\
      \n\
-     --quick   reduced budgets (fewer apps/trials/epochs) for a fast pass\n\
-     --seed N  dataset + experiment seed (default: paper-run seed)\n"
+     --quick     reduced budgets (fewer apps/trials/epochs) for a fast pass\n\
+     --seed N    dataset + experiment seed (default: paper-run seed)\n\
+     --shards N  run on the machine-range-sharded database backing\n\
+                 (results are bitwise-identical to the dense default)\n"
 }
 
 fn main() -> ExitCode {
@@ -31,6 +33,13 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!("--seed requires an integer argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.db_shards = Some(n),
+                _ => {
+                    eprintln!("--shards requires a positive integer argument\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -83,7 +92,8 @@ fn diagnose(config: &ExperimentConfig) -> Result<(), datatrans_core::CoreError> 
     use datatrans_core::eval::family_cv::{family_cross_validation, FamilyCvConfig};
     use datatrans_dataset::machine::ProcessorFamily;
 
-    let db = config.build_database()?;
+    let backing = config.build_backing()?;
+    let db = backing.view();
     let apps: Vec<usize> = [
         "libquantum",
         "cactusADM",
@@ -97,7 +107,7 @@ fn diagnose(config: &ExperimentConfig) -> Result<(), datatrans_core::CoreError> 
     .map(|n| db.benchmark_index(n))
     .collect::<Result<_, _>>()?;
     let report = family_cross_validation(
-        &db,
+        db,
         &config.methods(),
         &FamilyCvConfig {
             seed: config.seed,

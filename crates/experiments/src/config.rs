@@ -3,6 +3,8 @@
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use datatrans_dataset::database::PerfDatabase;
 use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_dataset::sharded::ShardedPerfDatabase;
+use datatrans_dataset::view::DatabaseView;
 use datatrans_ml::ga::GaConfig;
 use datatrans_ml::mlp::MlpConfig;
 use datatrans_parallel::Parallelism;
@@ -34,6 +36,12 @@ pub struct ExperimentConfig {
     /// core). Every table and figure is bitwise-identical at any thread
     /// count.
     pub parallelism: Parallelism,
+    /// Database backing: `None` runs on the dense [`PerfDatabase`];
+    /// `Some(n)` partitions it into `n` column-range shards
+    /// ([`ShardedPerfDatabase`]). Every table and figure is
+    /// bitwise-identical across backings — the shard-equivalence suite
+    /// pins the contract.
+    pub db_shards: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -47,6 +55,36 @@ impl Default for ExperimentConfig {
             ga_population: 32,
             ga_generations: 40,
             parallelism: Parallelism::default(),
+            db_shards: None,
+        }
+    }
+}
+
+/// The database backing an experiment run, chosen by
+/// [`ExperimentConfig::db_shards`].
+#[derive(Debug, Clone)]
+pub enum DbBacking {
+    /// The dense score matrix.
+    Dense(PerfDatabase),
+    /// The machine-range-sharded equivalent.
+    Sharded(ShardedPerfDatabase),
+}
+
+impl DbBacking {
+    /// The backing as a [`DatabaseView`] trait object, ready for the
+    /// generic harnesses.
+    pub fn view(&self) -> &dyn DatabaseView {
+        match self {
+            DbBacking::Dense(db) => db,
+            DbBacking::Sharded(db) => db,
+        }
+    }
+
+    /// Number of storage shards (dense: 1).
+    pub fn n_shards(&self) -> usize {
+        match self {
+            DbBacking::Dense(_) => 1,
+            DbBacking::Sharded(db) => db.n_shards(),
         }
     }
 }
@@ -102,7 +140,7 @@ impl ExperimentConfig {
         m
     }
 
-    /// Generates the dataset for this configuration.
+    /// Generates the dense dataset for this configuration.
     ///
     /// # Errors
     ///
@@ -111,8 +149,24 @@ impl ExperimentConfig {
         Ok(generate(&self.dataset)?)
     }
 
+    /// Generates the dataset on the backing selected by
+    /// [`ExperimentConfig::db_shards`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generation failures and invalid shard counts.
+    pub fn build_backing(&self) -> Result<DbBacking> {
+        let dense = self.build_database()?;
+        match self.db_shards {
+            None => Ok(DbBacking::Dense(dense)),
+            Some(n) => Ok(DbBacking::Sharded(ShardedPerfDatabase::from_dense(
+                &dense, n,
+            )?)),
+        }
+    }
+
     /// The application indices to evaluate.
-    pub fn app_indices(&self, db: &PerfDatabase) -> Option<Vec<usize>> {
+    pub fn app_indices<D: DatabaseView + ?Sized>(&self, db: &D) -> Option<Vec<usize>> {
         self.max_apps
             .map(|n| (0..db.n_benchmarks().min(n)).collect())
     }
@@ -154,6 +208,49 @@ mod tests {
         assert_eq!(names, vec!["NN^T", "MLP^T", "GA-kNN"]);
         let two = q.transposition_methods();
         assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn backing_selection_follows_db_shards() {
+        let dense = ExperimentConfig::default().build_backing().unwrap();
+        assert!(matches!(dense, DbBacking::Dense(_)));
+        assert_eq!(dense.n_shards(), 1);
+        let sharded = ExperimentConfig {
+            db_shards: Some(5),
+            ..ExperimentConfig::default()
+        }
+        .build_backing()
+        .unwrap();
+        assert!(matches!(sharded, DbBacking::Sharded(_)));
+        assert_eq!(sharded.n_shards(), 5);
+        assert_eq!(sharded.view().n_machines(), 117);
+        assert!(ExperimentConfig {
+            db_shards: Some(0),
+            ..ExperimentConfig::default()
+        }
+        .build_backing()
+        .is_err());
+    }
+
+    #[test]
+    fn table2_identical_on_dense_and_sharded_backing() {
+        // The cheapest end-to-end driver check: a quick Table 2 run must be
+        // cell-for-cell identical on both backings.
+        let quick = ExperimentConfig {
+            max_apps: Some(1),
+            mlp_epochs: 10,
+            ga_population: 6,
+            ga_generations: 2,
+            parallelism: Parallelism::Sequential,
+            ..ExperimentConfig::quick()
+        };
+        let dense = crate::table2::run(&quick).unwrap();
+        let sharded = crate::table2::run(&ExperimentConfig {
+            db_shards: Some(7),
+            ..quick.clone()
+        })
+        .unwrap();
+        assert_eq!(dense.report.cells, sharded.report.cells);
     }
 
     #[test]

@@ -24,16 +24,17 @@ pub struct Fig8Result {
 ///
 /// Propagates harness and model failures.
 pub fn run(config: &ExperimentConfig) -> Result<Fig8Result> {
-    let db = config.build_database()?;
+    let backing = config.build_backing()?;
+    let db = backing.view();
     let fit_config = FitCurveConfig {
         seed: config.seed,
         ks: (1..=10).collect(),
         random_trials: config.scaled_trials(NOMINAL_RANDOM_TRIALS),
-        apps: config.app_indices(&db),
+        apps: config.app_indices(db),
         parallelism: config.parallelism,
         ..FitCurveConfig::default()
     };
-    let points = goodness_of_fit_curve(&db, &fit_config)?;
+    let points = goodness_of_fit_curve(db, &fit_config)?;
     Ok(Fig8Result { points })
 }
 

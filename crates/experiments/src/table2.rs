@@ -28,15 +28,16 @@ pub struct Table2Result {
 ///
 /// Propagates harness and model failures.
 pub fn run(config: &ExperimentConfig) -> Result<Table2Result> {
-    let db = config.build_database()?;
+    let backing = config.build_backing()?;
+    let db = backing.view();
     let methods = config.methods();
     let cv_config = FamilyCvConfig {
         seed: config.seed,
-        apps: config.app_indices(&db),
+        apps: config.app_indices(db),
         families: None,
         parallelism: config.parallelism,
     };
-    let report = family_cross_validation(&db, &methods, &cv_config)?;
+    let report = family_cross_validation(db, &methods, &cv_config)?;
     let method_names: Vec<String> = report.methods();
     let aggregates: Vec<MetricAggregate> = method_names
         .iter()

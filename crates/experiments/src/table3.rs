@@ -29,15 +29,16 @@ pub struct Table3Result {
 ///
 /// Propagates harness and model failures.
 pub fn run(config: &ExperimentConfig) -> Result<Table3Result> {
-    let db = config.build_database()?;
+    let backing = config.build_backing()?;
+    let db = backing.view();
     let methods = config.methods();
     let temporal_config = TemporalConfig {
         seed: config.seed,
-        apps: config.app_indices(&db),
+        apps: config.app_indices(db),
         parallelism: config.parallelism,
         ..TemporalConfig::default()
     };
-    let report = temporal_evaluation(&db, &methods, &temporal_config)?;
+    let report = temporal_evaluation(db, &methods, &temporal_config)?;
     let method_names = report.methods();
     let eras = report.folds();
     let mut aggregates = Vec::with_capacity(method_names.len());

@@ -35,18 +35,19 @@ pub struct Table4Result {
 ///
 /// Propagates harness and model failures.
 pub fn run(config: &ExperimentConfig) -> Result<Table4Result> {
-    let db = config.build_database()?;
+    let backing = config.build_backing()?;
+    let db = backing.view();
     let methods = config.transposition_methods();
     let sizes = vec![10usize, 5, 3];
     let subset_config = SubsetConfig {
         seed: config.seed,
         sizes: sizes.clone(),
         trials: config.scaled_trials(NOMINAL_TRIALS),
-        apps: config.app_indices(&db),
+        apps: config.app_indices(db),
         parallelism: config.parallelism,
         ..SubsetConfig::default()
     };
-    let report = subset_evaluation(&db, &methods, &subset_config)?;
+    let report = subset_evaluation(db, &methods, &subset_config)?;
     let method_names = report.methods();
     let mut aggregates = Vec::with_capacity(method_names.len());
     for m in &method_names {

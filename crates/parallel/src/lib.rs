@@ -24,12 +24,16 @@
 //! `&mut S` scratch value created **once per worker per call** by an
 //! `init` closure. This is the `Sync` scratch-buffer story for hot loops
 //! whose per-item work wants preallocated buffers (GA-kNN distance
-//! buffers, MLP forward-pass scratch): the map closure itself stays `Fn +
-//! Sync`, while each worker mutates only its private scratch. Because the
-//! scratch must never influence the *value* computed for an item (only
-//! where intermediates are stored), results remain bitwise-identical at
-//! any thread count; the sequential fallback reuses a single scratch for
-//! the whole loop.
+//! buffers, MLP forward-pass scratch) or per-worker read handles (the
+//! sharded database's shard-cursor readers: each evaluation-harness worker
+//! gets its own handle caching the shard serving its last lookup, so
+//! workers never contend on a shared cursor): the
+//! map closure itself stays `Fn + Sync`, while each worker mutates only
+//! its private scratch. Because the scratch must never influence the
+//! *value* computed for an item (only where intermediates are stored, or
+//! how fast a lookup resolves), results remain bitwise-identical at any
+//! thread count; the sequential fallback reuses a single scratch for the
+//! whole loop.
 //!
 //! # Choosing a thread count
 //!
@@ -464,6 +468,33 @@ mod tests {
         // One scratch across all items: the running count matches the index.
         for (i, count) in got {
             assert_eq!(count, i + 1);
+        }
+    }
+
+    #[test]
+    fn cursor_style_scratch_accelerates_without_changing_values() {
+        // The sharded database's reader-handle pattern: scratch is a
+        // cursor caching the "segment" that served the last lookup. The
+        // cursor changes how a value is *found* (cache hit vs recomputed
+        // segment search), never the value itself — so every thread count
+        // must return identical results even though workers' cursors see
+        // different access sequences.
+        let boundaries: Vec<usize> = vec![0, 20, 45, 80, 100];
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.13).sin()).collect();
+        let lookup = |cursor: &mut usize, i: usize| -> f64 {
+            let seg = *cursor;
+            let in_cached = i >= boundaries[seg] && i < boundaries[seg + 1];
+            if !in_cached {
+                *cursor = boundaries.partition_point(|&b| b <= i) - 1;
+            }
+            data[i]
+        };
+        let seq = Parallelism::Sequential.par_map_indexed_with(1, 100, || 0usize, lookup);
+        for threads in [2, 3, 4] {
+            let par = Parallelism::Threads(threads).par_map_indexed_with(1, 100, || 0usize, lookup);
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
         }
     }
 

@@ -171,6 +171,61 @@ fn nnt_view_path_matches_naive_reference_bitwise() {
     }
 }
 
+/// Golden digest of the 1k-machine scale catalog: one column checksum per
+/// processor family (the sum of every machine column in the family), so
+/// any drift in the scale generator — catalog expansion order, jitter
+/// streams, suite synthesis, noise application — is caught before it can
+/// silently invalidate the sharded-database benches and scale tests.
+///
+/// Why ULP-tolerant rather than bit-exact: the generator's lognormal noise
+/// flows through libm (`ln`/`exp`/`cos`), which is not correctly rounded
+/// across environments. Per-value drift of an ULP accumulates across the
+/// 29 000 summed values, so the band is relative (1e-9 — about six orders
+/// of magnitude looser than libm noise, about six tighter than any real
+/// generator change). Gated to x86-64 linux-gnu like the prediction
+/// snapshot below; `scaled_generation_is_deterministic_and_valid` in
+/// `crates/dataset` covers other platforms.
+#[cfg(all(target_arch = "x86_64", target_os = "linux", target_env = "gnu"))]
+#[test]
+fn scaled_catalog_matches_golden_digest() {
+    use datatrans::dataset::generator::{generate_scaled, ScaleConfig};
+    use datatrans::dataset::machine::ProcessorFamily;
+    use datatrans::dataset::view::DatabaseView;
+
+    let db = generate_scaled(&ScaleConfig::default()).expect("scale dataset");
+    assert_eq!((db.n_benchmarks(), db.n_machines()), (29, 1000));
+    let golden: [(ProcessorFamily, f64); 17] = [
+        (ProcessorFamily::OpteronK10, 63310.41673048322),
+        (ProcessorFamily::OpteronK8, 23618.093549759702),
+        (ProcessorFamily::Phenom, 42500.47566503111),
+        (ProcessorFamily::Turion, 7423.859169204122),
+        (ProcessorFamily::Power5, 13534.386013192852),
+        (ProcessorFamily::Power6, 19986.050778148547),
+        (ProcessorFamily::Core2, 135941.4587913332),
+        (ProcessorFamily::CoreDuo, 10699.255213698187),
+        (ProcessorFamily::CoreI7, 34246.22325580901),
+        (ProcessorFamily::Itanium, 10336.903356659388),
+        (ProcessorFamily::PentiumD, 11659.178657333241),
+        (ProcessorFamily::PentiumDualCore, 12981.171167061137),
+        (ProcessorFamily::PentiumM, 7613.920507792183),
+        (ProcessorFamily::Xeon, 291550.9151756355),
+        (ProcessorFamily::Sparc64Vi, 9963.807351237421),
+        (ProcessorFamily::Sparc64Vii, 11984.661680561756),
+        (ProcessorFamily::UltraSparcIii, 3461.4550459484817),
+    ];
+    for (family, expected) in golden {
+        let checksum: f64 = DatabaseView::machines_in_family(&db, family)
+            .iter()
+            .map(|&m| db.machine_column(m).iter().sum::<f64>())
+            .sum();
+        let rel = ((checksum - expected) / expected).abs();
+        assert!(
+            rel < 1e-9,
+            "{family:?} checksum drifted: {checksum} vs golden {expected} (rel {rel:e})"
+        );
+    }
+}
+
 /// Golden snapshot: predictions on the standard Phenom fold are pinned to
 /// within 4 ULP of recorded constants. A refactor of the predict paths
 /// (views, scratch buffers, layout changes) must stay inside that band;
