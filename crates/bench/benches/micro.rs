@@ -7,14 +7,19 @@
 //! GA-generation granularity, the parallel executor's thread scaling, and
 //! the database layer at scale: point queries/gathers (`db_query`) and
 //! row/shard scans (`db_shard_scan`) on a 1k-machine catalog, dense vs
-//! sharded.
+//! sharded, plus the serving layer: pool-fanned sharded gathers
+//! (`db_gather_par`) and the batched ranking-query front end
+//! (`query_batch`), dense vs sharded-with-pruning.
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_scaled_database, bench_sharded_database, bench_task};
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
-use datatrans_dataset::generator::{generate, DatasetConfig};
+use datatrans_core::serve::{serve_batch, ServeConfig};
+use datatrans_dataset::generator::{generate, generate_scaled, DatasetConfig, ScaleConfig};
 use datatrans_dataset::machine::ProcessorFamily;
+use datatrans_dataset::sharded::ShardedPerfDatabase;
 use datatrans_dataset::view::DatabaseView;
+use datatrans_experiments::serve::synth_requests;
 use datatrans_linalg::{solve::lstsq, Matrix};
 use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
 use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
@@ -491,6 +496,87 @@ fn bench_db_shard_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded gather's pool-fanned row-chunk copies against the inline
+/// loop, on a tall (128-benchmark × 1k-machine) catalog where a gather
+/// has enough rows to distribute. Each sample times a 16-gather burst so
+/// per-dispatch scheduler jitter amortizes (the single-gather numbers are
+/// too bimodal to gate on a busy single-core box). Like the other pooled
+/// groups, the parallel variants only win on multi-core hardware.
+fn bench_db_gather_par(c: &mut Criterion) {
+    const BURST: usize = 16;
+    let dense = generate_scaled(&ScaleConfig {
+        n_benchmarks: 128,
+        ..ScaleConfig::default()
+    })
+    .expect("tall scale dataset generates");
+    let sequential = bench_sharded_database(&dense);
+    let pooled = ShardedPerfDatabase::from_dense(&dense, 8)
+        .expect("8 shards")
+        .with_parallelism(Parallelism::Threads(4));
+    let rows: Vec<usize> = (0..dense.n_benchmarks()).collect();
+    let family = DatabaseView::machines_in_family(&dense, ProcessorFamily::Xeon);
+    let scattered: Vec<usize> = (0..dense.n_machines()).step_by(7).collect();
+
+    let mut group = c.benchmark_group("db_gather_par");
+    group.sample_size(30);
+    let variants: [(&str, &ShardedPerfDatabase, &[usize]); 4] = [
+        ("family_seq8_128x1k_x16", &sequential, &family),
+        ("family_pool4_128x1k_x16", &pooled, &family),
+        ("scattered_seq8_128x1k_x16", &sequential, &scattered),
+        ("scattered_pool4_128x1k_x16", &pooled, &scattered),
+    ];
+    for (name, db, cols) in variants {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut total = 0usize;
+                for _ in 0..BURST {
+                    total += DatabaseView::gather(db, &rows, cols).rows();
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The batched ranking-query front end: the serve driver's synthetic mix
+/// (all three models, family/year/score restrictions) served in one pool
+/// pass — dense vs sharded-with-pruning, sequential vs pooled fan-out.
+fn bench_query_batch(c: &mut Criterion) {
+    let dense = bench_database();
+    let sharded = bench_sharded_database_117(&dense);
+    let (requests, _labels) = synth_requests(&dense, 16, 5, 42);
+    let config = |parallelism| ServeConfig {
+        parallelism,
+        ..ServeConfig::quick()
+    };
+
+    let mut group = c.benchmark_group("query_batch");
+    group.sample_size(10);
+    group.bench_function("mixed16_dense_seq", |bch| {
+        let cfg = config(Parallelism::Sequential);
+        bch.iter(|| std::hint::black_box(serve_batch(&dense, &requests, &cfg).expect("serves")))
+    });
+    group.bench_function("mixed16_sharded8_seq", |bch| {
+        let cfg = config(Parallelism::Sequential);
+        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg).expect("serves")))
+    });
+    group.bench_function("mixed16_sharded8_pool4", |bch| {
+        let cfg = config(Parallelism::Threads(4));
+        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg).expect("serves")))
+    });
+    group.finish();
+}
+
+/// The paper-sized (29 × 117) database partitioned 8 ways, for the
+/// serving benches (the 1k fixture would drown the planner in model
+/// time).
+fn bench_sharded_database_117(
+    dense: &datatrans_dataset::database::PerfDatabase,
+) -> ShardedPerfDatabase {
+    ShardedPerfDatabase::from_dense(dense, 8).expect("8 shards over 117 machines")
+}
+
 criterion_group!(
     benches,
     bench_predictors,
@@ -502,6 +588,8 @@ criterion_group!(
     bench_executor,
     bench_parallel_scaling,
     bench_db_query,
-    bench_db_shard_scan
+    bench_db_shard_scan,
+    bench_db_gather_par,
+    bench_query_batch
 );
 criterion_main!(benches);

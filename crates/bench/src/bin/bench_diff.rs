@@ -25,9 +25,10 @@ use datatrans_bench::harness::{parse_report, BenchRecord};
 
 /// Default allowed median growth before a watched benchmark fails the gate.
 const DEFAULT_THRESHOLD: f64 = 0.25;
-/// Default watched groups: the GA-kNN fitness kernel, top-k selection, and
-/// the database layer's scale queries and shard scans.
-const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk,db_query,db_shard_scan";
+/// Default watched groups: the GA-kNN fitness kernel, top-k selection,
+/// the database layer's scale queries and shard scans, and the serving
+/// layer's pool-fanned gathers and batched ranking queries.
+const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk,db_query,db_shard_scan,db_gather_par,query_batch";
 
 struct Args {
     baseline: String,

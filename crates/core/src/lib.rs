@@ -23,6 +23,9 @@
 //!   heterogeneous-cluster scheduler, and design-space exploration.
 //! * [`analysis`] — PCA machine-similarity analysis: the low-dimensional
 //!   behaviour space that makes transposition work.
+//! * [`serve`] — the batched ranking-query front end: plan (with shard
+//!   pruning) → gather → predict → rank, many requests per pool pass,
+//!   bitwise-identical at any thread count and on either backing.
 //!
 //! # Example: rank machines for a held-out benchmark
 //!
@@ -58,6 +61,7 @@ pub mod eval;
 pub mod model;
 pub mod ranking;
 pub mod select;
+pub mod serve;
 pub mod task;
 
 pub use error::CoreError;

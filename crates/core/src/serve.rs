@@ -1,0 +1,485 @@
+//! The batched ranking-query front end: the paper's end product — a
+//! ranking of commercial machines for an application of interest — served
+//! as a first-class query.
+//!
+//! A [`RankRequest`] names an application ([`AppOfInterest`]), a model
+//! ([`ModelKind`]), the predictive machines the requester owns, a
+//! [`MachineFilter`] restricting the candidate targets, and an optional
+//! `top_k` cut. [`serve_batch`] executes many requests in **one pass over
+//! the persistent worker pool**: each worker carries a per-worker
+//! [`DbReader`] handle plus a lazily-built model cache as its scratch, and
+//! every request independently
+//!
+//! 1. **plans** — [`DatabaseView::plan_machines`] resolves the restriction
+//!    (on a sharded backing, shard statistics prune shards that provably
+//!    cannot match),
+//! 2. **gathers** — task construction copies exactly the planned columns,
+//! 3. **predicts** — NNᵀ / MLPᵀ / GA-kNN, and
+//! 4. **ranks** — descending predicted score, truncated to `top_k`.
+//!
+//! Responses are returned in request order and are **bitwise-identical**
+//! at any thread count, on dense and sharded backings, and under any
+//! batch permutation (each response depends only on its own request and
+//! the stored data; `tests/query_engine.rs` pins all three properties).
+//!
+//! [`DbReader`]: datatrans_dataset::view::DbReader
+
+use datatrans_dataset::characteristics::WorkloadCharacteristics;
+use datatrans_dataset::query::MachineFilter;
+use datatrans_dataset::view::DatabaseView;
+use datatrans_ml::ga::GaConfig;
+use datatrans_ml::mlp::MlpConfig;
+use datatrans_parallel::Parallelism;
+
+use crate::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
+use crate::ranking::Ranking;
+use crate::task::PredictionTask;
+use crate::{CoreError, Result};
+
+/// Which predictor a request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// NNᵀ: linear regression over the best-fitting predictive machine.
+    NnT,
+    /// MLPᵀ: neural network from benchmark scores to the app score.
+    MlpT,
+    /// GA-kNN: the prior-art workload-similarity baseline.
+    GaKnn,
+}
+
+impl ModelKind {
+    /// All three kinds, in the paper's order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::NnT, ModelKind::MlpT, ModelKind::GaKnn];
+
+    /// The kind's display name — always equal to the
+    /// [`Predictor::name`] of the model it builds.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::NnT => "NN^T",
+            ModelKind::MlpT => "MLP^T",
+            ModelKind::GaKnn => "GA-kNN",
+        }
+    }
+}
+
+/// The application a request ranks machines for.
+#[derive(Debug, Clone)]
+pub enum AppOfInterest {
+    /// A suite benchmark by row index, evaluated leave-one-out: its row is
+    /// withheld from training, exactly like the paper's evaluation cells.
+    Suite(usize),
+    /// An external (proprietary) application: profiled characteristics,
+    /// "run" on the predictive machines through the performance model.
+    External(WorkloadCharacteristics),
+}
+
+/// One ranking query.
+#[derive(Debug, Clone)]
+pub struct RankRequest {
+    /// The application of interest.
+    pub app: AppOfInterest,
+    /// The predictor to use.
+    pub model: ModelKind,
+    /// Machines the requester can run code on. Automatically excluded
+    /// from the candidate targets.
+    pub predictive: Vec<usize>,
+    /// Restriction on the candidate target machines.
+    pub restrict: MachineFilter,
+    /// Return only the best `k` machines (`None` = the full ranking).
+    pub top_k: Option<usize>,
+    /// Seed for the stochastic models (MLP initialization, GA).
+    pub seed: u64,
+}
+
+/// One machine in a response's ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedMachine {
+    /// Index into the database's machine list.
+    pub machine: usize,
+    /// Predicted score of the application on this machine.
+    pub predicted_score: f64,
+}
+
+/// The answer to one [`RankRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankResponse {
+    /// Display name of the model that produced the ranking.
+    pub method: &'static str,
+    /// Candidate machines, best first, truncated to the request's `top_k`.
+    pub ranked: Vec<RankedMachine>,
+    /// Number of candidate target machines scored (before `top_k`).
+    pub candidates: usize,
+    /// Shards the planner examined for this request.
+    pub shards_scanned: usize,
+    /// Shards the planner skipped via statistics or subset range.
+    pub shards_pruned: usize,
+}
+
+/// Model budgets and the batch fan-out configuration of the serving
+/// engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// MLPᵀ training epochs (paper/WEKA default: 500).
+    pub mlp_epochs: usize,
+    /// GA-kNN population size (default 32).
+    pub ga_population: usize,
+    /// GA-kNN generations (default 40).
+    pub ga_generations: usize,
+    /// Worker threads for the request fan-out. Responses are
+    /// bitwise-identical at any thread count. Models run sequentially
+    /// inside a request — the batch fan-out owns the cores.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            mlp_epochs: 500,
+            ga_population: 32,
+            ga_generations: 40,
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reduced budgets for tests and benches.
+    pub fn quick() -> Self {
+        ServeConfig {
+            mlp_epochs: 40,
+            ga_population: 8,
+            ga_generations: 3,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Builds the predictor for `kind` at this configuration's budgets.
+    fn build_model(&self, kind: ModelKind) -> Box<dyn Predictor + Send + Sync> {
+        match kind {
+            ModelKind::NnT => Box::new(NnT::default()),
+            ModelKind::MlpT => Box::new(MlpT {
+                config: MlpConfig {
+                    epochs: self.mlp_epochs,
+                    ..MlpConfig::weka_default(0)
+                },
+                ..MlpT::default()
+            }),
+            ModelKind::GaKnn => Box::new(GaKnn {
+                config: GaKnnConfig {
+                    ga: GaConfig {
+                        population: self.ga_population,
+                        generations: self.ga_generations,
+                        parallelism: Parallelism::Sequential,
+                        ..GaConfig::default_seeded(0)
+                    },
+                    ..GaKnnConfig::default()
+                },
+            }),
+        }
+    }
+}
+
+/// Per-worker model scratch: each predictor kind is built once per worker
+/// per batch and reused across the requests that worker serves. Models
+/// are immutable configuration holders, so the cache can never leak state
+/// between requests — it only saves reconstruction.
+#[derive(Default)]
+struct ModelCache {
+    models: [Option<Box<dyn Predictor + Send + Sync>>; 3],
+}
+
+impl ModelCache {
+    fn get(&mut self, kind: ModelKind, config: &ServeConfig) -> &dyn Predictor {
+        let slot = match kind {
+            ModelKind::NnT => 0,
+            ModelKind::MlpT => 1,
+            ModelKind::GaKnn => 2,
+        };
+        if self.models[slot].is_none() {
+            self.models[slot] = Some(config.build_model(kind));
+        }
+        self.models[slot].as_deref().expect("slot just filled")
+    }
+}
+
+/// Serves one request against a view, using (and filling) the worker's
+/// model cache.
+fn serve_with<D: DatabaseView + ?Sized>(
+    view: &D,
+    request: &RankRequest,
+    config: &ServeConfig,
+    cache: &mut ModelCache,
+) -> Result<RankResponse> {
+    if let Some((what, index)) = request.restrict.invalid_index(view) {
+        return Err(CoreError::invalid_task(format!(
+            "restriction references out-of-range {what} index {index}"
+        )));
+    }
+    let plan = view.plan_machines(&request.restrict);
+    let targets: Vec<usize> = plan
+        .machines
+        .iter()
+        .copied()
+        .filter(|m| !request.predictive.contains(m))
+        .collect();
+    if targets.is_empty() {
+        return Err(CoreError::invalid_task(
+            "restriction leaves no candidate target machines",
+        ));
+    }
+    let task = match &request.app {
+        AppOfInterest::Suite(app) => {
+            PredictionTask::leave_one_out(view, *app, &request.predictive, &targets, request.seed)?
+        }
+        AppOfInterest::External(app) => {
+            PredictionTask::external_app(view, app, &request.predictive, &targets, request.seed)?
+        }
+    };
+    let model = cache.get(request.model, config);
+    let predicted = model.predict(&task)?;
+    let ranking = Ranking::from_scores(&predicted)?;
+    let k = request.top_k.unwrap_or(targets.len()).min(targets.len());
+    let ranked = ranking.order()[..k]
+        .iter()
+        .map(|&pos| RankedMachine {
+            machine: targets[pos],
+            predicted_score: predicted[pos],
+        })
+        .collect();
+    Ok(RankResponse {
+        method: model.name(),
+        ranked,
+        candidates: targets.len(),
+        shards_scanned: plan.shards_scanned,
+        shards_pruned: plan.shards_pruned,
+    })
+}
+
+/// Serves one request (plan → gather → predict → rank).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTask`] when the restriction references
+/// out-of-range indices or leaves no candidate targets, and propagates
+/// task-construction and model failures.
+pub fn serve_one<D: DatabaseView + ?Sized>(
+    db: &D,
+    request: &RankRequest,
+    config: &ServeConfig,
+) -> Result<RankResponse> {
+    let mut cache = ModelCache::default();
+    serve_with(db, request, config, &mut cache)
+}
+
+/// Serves a batch of requests in one pass over the persistent worker
+/// pool, returning responses in request order.
+///
+/// Each worker checks out a per-worker [`DatabaseView::reader`] handle and
+/// a model cache as scratch; requests are otherwise independent, so the
+/// response vector is bitwise-identical at any thread count and under any
+/// batch permutation (permuting requests permutes responses identically).
+///
+/// # Errors
+///
+/// Returns the first failing request's error (in request order), same
+/// conditions as [`serve_one`].
+pub fn serve_batch<D: DatabaseView + ?Sized>(
+    db: &D,
+    requests: &[RankRequest],
+    config: &ServeConfig,
+) -> Result<Vec<RankResponse>> {
+    let results: Vec<Result<RankResponse>> = config.parallelism.par_map_with(
+        2,
+        requests,
+        || (db.reader(), ModelCache::default()),
+        |(reader, cache), request| serve_with(reader, request, config, cache),
+    );
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatrans_dataset::generator::{generate, DatasetConfig};
+    use datatrans_dataset::machine::ProcessorFamily;
+    use datatrans_dataset::sharded::ShardedPerfDatabase;
+    use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
+
+    fn quick() -> ServeConfig {
+        ServeConfig {
+            parallelism: Parallelism::Sequential,
+            ..ServeConfig::quick()
+        }
+    }
+
+    #[test]
+    fn model_kind_names_match_predictors() {
+        let config = ServeConfig::quick();
+        for kind in ModelKind::ALL {
+            assert_eq!(kind.name(), config.build_model(kind).name());
+        }
+    }
+
+    #[test]
+    fn serves_a_family_restricted_suite_request() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0, 30, 60],
+            restrict: MachineFilter::family(ProcessorFamily::Xeon),
+            top_k: Some(5),
+            seed: 7,
+        };
+        let response = serve_one(&db, &request, &quick()).unwrap();
+        assert_eq!(response.method, "NN^T");
+        assert_eq!(response.ranked.len(), 5);
+        assert_eq!(response.candidates, 39);
+        let xeons = db.machines_in_family(ProcessorFamily::Xeon);
+        for r in &response.ranked {
+            assert!(xeons.contains(&r.machine));
+            assert!(r.predicted_score.is_finite());
+        }
+        for w in response.ranked.windows(2) {
+            assert!(w[0].predicted_score >= w[1].predicted_score);
+        }
+    }
+
+    #[test]
+    fn predictive_machines_are_excluded_from_candidates() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let xeons = db.machines_in_family(ProcessorFamily::Xeon);
+        let request = RankRequest {
+            app: AppOfInterest::Suite(2),
+            model: ModelKind::NnT,
+            predictive: vec![xeons[0], xeons[1], 0],
+            restrict: MachineFilter::family(ProcessorFamily::Xeon),
+            top_k: None,
+            seed: 1,
+        };
+        let response = serve_one(&db, &request, &quick()).unwrap();
+        assert_eq!(response.candidates, xeons.len() - 2);
+        for r in &response.ranked {
+            assert!(!request.predictive.contains(&r.machine));
+        }
+    }
+
+    #[test]
+    fn external_app_request_ranks_candidates() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            app: AppOfInterest::External(synthesize(WorkloadProfile::Scientific, 3)),
+            model: ModelKind::MlpT,
+            predictive: vec![5, 40, 80],
+            restrict: MachineFilter::years(2008, 2009),
+            top_k: Some(3),
+            seed: 9,
+        };
+        let response = serve_one(&db, &request, &quick()).unwrap();
+        assert_eq!(response.method, "MLP^T");
+        assert_eq!(response.ranked.len(), 3);
+        for r in &response.ranked {
+            let year = db.machines()[r.machine].year;
+            assert!((2008..=2009).contains(&year));
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_is_an_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0],
+            restrict: MachineFilter::years(1980, 1981),
+            top_k: None,
+            seed: 0,
+        };
+        assert!(matches!(
+            serve_one(&db, &request, &quick()),
+            Err(CoreError::InvalidTask { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_restriction_index_is_an_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0],
+            restrict: MachineFilter::all().with_min_score(999, 1.0),
+            top_k: None,
+            seed: 0,
+        };
+        assert!(serve_one(&db, &request, &quick()).is_err());
+    }
+
+    #[test]
+    fn batch_responses_are_in_request_order_and_match_serve_one() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let requests: Vec<RankRequest> = [
+            ProcessorFamily::Xeon,
+            ProcessorFamily::Phenom,
+            ProcessorFamily::Itanium,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &family)| RankRequest {
+            app: AppOfInterest::Suite(i),
+            model: ModelKind::NnT,
+            predictive: vec![0, 30, 60],
+            restrict: MachineFilter::family(family),
+            top_k: Some(4),
+            seed: i as u64,
+        })
+        .collect();
+        let batch = serve_batch(&db, &requests, &quick()).unwrap();
+        assert_eq!(batch.len(), requests.len());
+        for (request, response) in requests.iter().zip(&batch) {
+            assert_eq!(response, &serve_one(&db, request, &quick()).unwrap());
+        }
+    }
+
+    #[test]
+    fn sharded_responses_report_pruning() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 8).unwrap();
+        let request = RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0, 30, 60],
+            restrict: MachineFilter::family(ProcessorFamily::Xeon),
+            top_k: Some(5),
+            seed: 7,
+        };
+        let dense_response = serve_one(&db, &request, &quick()).unwrap();
+        let sharded_response = serve_one(&sharded, &request, &quick()).unwrap();
+        assert_eq!(dense_response.ranked, sharded_response.ranked);
+        assert_eq!(dense_response.shards_pruned, 0);
+        assert!(sharded_response.shards_pruned > 0);
+        assert_eq!(
+            sharded_response.shards_scanned + sharded_response.shards_pruned,
+            8
+        );
+    }
+
+    #[test]
+    fn batch_error_reports_first_failing_request() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let good = RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0, 30],
+            restrict: MachineFilter::all(),
+            top_k: Some(1),
+            seed: 0,
+        };
+        let bad = RankRequest {
+            restrict: MachineFilter::years(1980, 1981),
+            ..good.clone()
+        };
+        assert!(serve_batch(&db, &[good.clone(), bad], &quick()).is_err());
+        assert!(serve_batch(&db, &[good.clone(), good], &quick()).is_ok());
+    }
+}

@@ -26,6 +26,10 @@
 //! * [`sharded`] — the same table partitioned into machine-range shards
 //!   ([`sharded::ShardedPerfDatabase`]) for serving-scale catalogs; bitwise
 //!   interchangeable with the dense backing.
+//! * [`query`] — machine-restriction filters ([`query::MachineFilter`])
+//!   and the shard-pruning planner: per-shard statistics
+//!   ([`query::ShardStats`]) let the sharded backing skip shards that
+//!   provably cannot match, with plans identical to a full scan.
 //!
 //! # Example
 //!
@@ -55,11 +59,13 @@ pub mod generator;
 pub mod machine;
 pub mod microarch;
 pub mod perf_model;
+pub mod query;
 pub mod sharded;
 pub mod view;
 pub mod workload_synth;
 
 pub use error::DatasetError;
+pub use query::{MachineFilter, QueryPlan, ShardStats};
 pub use sharded::ShardedPerfDatabase;
 pub use view::{DatabaseView, DbReader};
 

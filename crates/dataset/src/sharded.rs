@@ -15,16 +15,32 @@
 //! remaining shards. Scores are **copied, never recomputed** when
 //! sharding, so every accessor is bitwise-identical to the dense backing
 //! (`tests/shard_equivalence.rs` pins this).
+//!
+//! Beyond storage, each shard carries aggregate statistics
+//! ([`crate::query::ShardStats`]: family set, release-year range,
+//! per-benchmark score ranges) computed once at construction. The
+//! [`DatabaseView::plan_machines`] override uses them to **prune shards**
+//! that provably cannot satisfy a [`MachineFilter`], and
+//! [`DatabaseView::gather`] can fan its run-hoisted row copies across the
+//! persistent worker pool ([`ShardedPerfDatabase::with_parallelism`]) —
+//! both are pure access-path optimizations that never change a returned
+//! byte.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use datatrans_linalg::{Matrix, VecView};
+use datatrans_parallel::Parallelism;
 
 use crate::benchmark::Benchmark;
 use crate::database::PerfDatabase;
 use crate::machine::Machine;
+use crate::query::{MachineFilter, PreparedFilter, QueryPlan, ShardStats};
 use crate::view::{DatabaseView, DbReader, RowSegment};
 use crate::{DatasetError, Result};
+
+/// Row-count threshold below which a parallel gather is not worth the
+/// dispatch: fall back to the inline copy loop.
+const GATHER_MIN_PAR_ROWS: usize = 8;
 
 /// One shard: a contiguous block of machine columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,11 +92,21 @@ pub struct ShardedPerfDatabase {
     benchmarks: Vec<Benchmark>,
     machines: Vec<Machine>,
     shards: Vec<Shard>,
+    /// Per-shard aggregate statistics (family set, year range, score
+    /// ranges), computed once at construction and consulted by the
+    /// shard-pruning planner.
+    stats: Vec<ShardStats>,
     /// Width of the trailing (narrow) shards: `n_machines / n_shards`.
     base_width: usize,
     /// Number of leading shards that are one column wider:
     /// `n_machines % n_shards`.
     wide_shards: usize,
+    /// Worker threads for the per-row fan-out of [`DatabaseView::gather`].
+    /// `Sequential` (the default) copies inline; any other value fans
+    /// run-hoisted row copies across the persistent pool. Values are moved
+    /// verbatim either way, so the gathered matrix is bitwise-identical at
+    /// any thread count.
+    parallelism: Parallelism,
 }
 
 impl ShardedPerfDatabase {
@@ -125,6 +151,7 @@ impl ShardedPerfDatabase {
         let wide_shards = n_machines % n_shards;
         let n_benchmarks = db.n_benchmarks();
         let mut shards = Vec::with_capacity(n_shards);
+        let mut stats = Vec::with_capacity(n_shards);
         let mut start = 0;
         for s in 0..n_shards {
             let width = base_width + usize::from(s < wide_shards);
@@ -134,6 +161,10 @@ impl ShardedPerfDatabase {
             }
             let scores = Matrix::from_vec(n_benchmarks, width, block)
                 .expect("shard block has exactly benchmarks × width entries");
+            stats.push(ShardStats::compute(
+                &db.machines()[start..start + width],
+                &scores,
+            ));
             shards.push(Shard { start, scores });
             start += width;
         }
@@ -142,9 +173,39 @@ impl ShardedPerfDatabase {
             benchmarks: db.benchmarks().to_vec(),
             machines: db.machines().to_vec(),
             shards,
+            stats,
             base_width,
             wide_shards,
+            parallelism: Parallelism::Sequential,
         })
+    }
+
+    /// Sets the worker-thread configuration for the per-row gather
+    /// fan-out (builder style; the default is [`Parallelism::Sequential`]).
+    ///
+    /// Parallelism changes only *who copies* the gathered rows, never the
+    /// bytes copied — gathers stay bitwise-identical at any thread count.
+    /// Leave it `Sequential` when gathers already run inside a harness
+    /// fan-out's workers; nesting is safe (the pool spawns the shortfall)
+    /// but oversubscribes cores.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The gather fan-out configuration.
+    pub fn gather_parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The aggregate statistics of shard `s` (family set, year range,
+    /// per-benchmark score ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn shard_stats(&self, s: usize) -> &ShardStats {
+        &self.stats[s]
     }
 
     /// Reassembles the dense equivalent (bitwise-identical scores).
@@ -209,6 +270,51 @@ impl ShardedPerfDatabase {
         let s = self.shard_of(m);
         (s, m - self.shards[s].start)
     }
+
+    /// Hoists a requested machine-index sequence into maximal copy runs:
+    /// each run is a stretch of columns that are consecutive *both* in the
+    /// request and within one shard's storage, so it copies as one
+    /// `copy_from_slice` per output row. Family and era selections are
+    /// contiguous ranges, so they hoist into roughly one run per shard
+    /// touched; a fully scattered request degenerates to width-1 runs.
+    fn gather_runs(&self, machines: &[usize]) -> Vec<GatherRun> {
+        let mut runs: Vec<GatherRun> = Vec::new();
+        for (out, &m) in machines.iter().enumerate() {
+            let (shard, local) = self.locate(m);
+            if let Some(last) = runs.last_mut() {
+                if last.shard == shard && last.local_start + last.len == local {
+                    last.len += 1;
+                    continue;
+                }
+            }
+            runs.push(GatherRun {
+                out_start: out,
+                shard,
+                local_start: local,
+                len: 1,
+            });
+        }
+        runs
+    }
+
+    /// Copies one output row of a gather through the hoisted runs.
+    fn gather_row_into(&self, b: usize, runs: &[GatherRun], out: &mut [f64]) {
+        for run in runs {
+            let src = &self.shards[run.shard].row(b)[run.local_start..run.local_start + run.len];
+            out[run.out_start..run.out_start + run.len].copy_from_slice(src);
+        }
+    }
+}
+
+/// One hoisted copy run of a gather: `len` request-consecutive columns
+/// stored contiguously in `shard` starting at `local_start`, landing at
+/// `out_start` in the output row.
+#[derive(Debug, Clone, Copy)]
+struct GatherRun {
+    out_start: usize,
+    shard: usize,
+    local_start: usize,
+    len: usize,
 }
 
 impl DatabaseView for ShardedPerfDatabase {
@@ -250,34 +356,76 @@ impl DatabaseView for ShardedPerfDatabase {
     }
 
     fn gather(&self, benchmarks: &[usize], machines: &[usize]) -> Matrix {
-        // Locate every requested column once, then copy row-major so each
+        // Locate every requested column once, hoisting request-consecutive
+        // columns into per-shard copy runs; then copy row-major so each
         // shard block is read sequentially per output row. Values are moved
-        // verbatim, so the result is bitwise-identical to a dense gather.
-        let locations: Vec<(usize, usize)> = machines.iter().map(|&m| self.locate(m)).collect();
+        // verbatim, so the result is bitwise-identical to a dense gather —
+        // and independent of how rows are distributed across workers.
         for &b in benchmarks {
             assert!(b < self.benchmarks.len(), "benchmark index out of bounds");
         }
+        let runs = self.gather_runs(machines);
+        let threads = self.parallelism.thread_count().min(benchmarks.len());
+        if threads > 1 && benchmarks.len() >= GATHER_MIN_PAR_ROWS {
+            // Fan contiguous row chunks across the persistent pool — one
+            // block allocation and one dispatch per worker, one merge copy
+            // per chunk. Chunk boundaries cannot affect the bytes: every
+            // row is the same verbatim copy sequence wherever it runs.
+            let width = machines.len();
+            let chunk_rows = benchmarks.len().div_ceil(threads);
+            let n_chunks = benchmarks.len().div_ceil(chunk_rows);
+            let chunks: Vec<Vec<f64>> = self.parallelism.par_map_indexed(1, n_chunks, |c| {
+                let lo = c * chunk_rows;
+                let hi = (lo + chunk_rows).min(benchmarks.len());
+                let mut block = vec![0.0; (hi - lo) * width];
+                for (i, &b) in benchmarks[lo..hi].iter().enumerate() {
+                    self.gather_row_into(b, &runs, &mut block[i * width..(i + 1) * width]);
+                }
+                block
+            });
+            let mut data = Vec::with_capacity(benchmarks.len() * width);
+            for chunk in &chunks {
+                data.extend_from_slice(chunk);
+            }
+            return Matrix::from_vec(benchmarks.len(), width, data)
+                .expect("gathered chunks have exactly benchmarks × machines entries");
+        }
         let mut out = Matrix::zeros(benchmarks.len(), machines.len());
         for (i, &b) in benchmarks.iter().enumerate() {
-            let row = out.row_mut(i);
-            // Requested columns cluster into runs within one shard (family
-            // and era selections are contiguous ranges), so resolve the
-            // shard's row slice once per run, not once per element.
-            let mut current_shard = usize::MAX;
-            let mut shard_row: &[f64] = &[];
-            for (slot, &(s, local)) in row.iter_mut().zip(&locations) {
-                if s != current_shard {
-                    shard_row = self.shards[s].row(b);
-                    current_shard = s;
-                }
-                *slot = shard_row[local];
-            }
+            self.gather_row_into(b, &runs, out.row_mut(i));
         }
         out
     }
 
     fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    fn plan_machines(&self, filter: &MachineFilter) -> QueryPlan {
+        // Conservative shard pruning: skip a shard only when its
+        // statistics prove no machine can match (family absent, year
+        // ranges disjoint, best score below threshold) or the subset
+        // clause has no member in the shard's machine range. Scanned
+        // shards are visited in machine order, so the machine list is
+        // identical to the full scan's.
+        let prepared = PreparedFilter::new(filter);
+        let mut machines = Vec::new();
+        let mut shards_scanned = 0;
+        let mut shards_pruned = 0;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let range = shard.machine_range();
+            if !self.stats[s].may_match(filter) || !prepared.subset_intersects(range.clone()) {
+                shards_pruned += 1;
+                continue;
+            }
+            shards_scanned += 1;
+            machines.extend(range.filter(|&m| prepared.matches(self, m)));
+        }
+        QueryPlan {
+            machines,
+            shards_scanned,
+            shards_pruned,
+        }
     }
 
     fn reader(&self) -> DbReader<'_> {
@@ -372,6 +520,10 @@ impl DatabaseView for ShardReader<'_> {
         self.db.shards.len()
     }
 
+    fn plan_machines(&self, filter: &MachineFilter) -> QueryPlan {
+        self.db.plan_machines(filter)
+    }
+
     fn reader(&self) -> DbReader<'_> {
         self.db.reader()
     }
@@ -458,6 +610,153 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn shard_stats_cover_every_machine() {
+        let db = dense();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 5).unwrap();
+        for s in 0..sharded.n_shards() {
+            let stats = sharded.shard_stats(s);
+            let (y_min, y_max) = stats.year_range();
+            for m in sharded.shard(s).machine_range() {
+                let machine = &db.machines()[m];
+                assert!(stats.families().contains(&machine.family), "shard {s}");
+                assert!((y_min..=y_max).contains(&machine.year), "shard {s}");
+                for b in 0..db.n_benchmarks() {
+                    let (lo, hi) = stats.score_range(b);
+                    let score = db.score(b, m);
+                    assert!(lo <= score && score <= hi, "shard {s} b={b} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_plans_match_full_scans_on_seeded_random_catalogs() {
+        use crate::generator::{generate_scaled, ScaleConfig};
+        use crate::machine::ProcessorFamily;
+        use crate::query::{scan_machines, MachineFilter};
+
+        // Seeded random shapes and shard counts (including non-dividing
+        // ones): for every filter, the statistics-pruned plan must list
+        // exactly the machines a full metadata scan finds, and a gather of
+        // the planned columns must be bitwise-identical to the dense
+        // backing's.
+        for (seed, n_machines, n_shards) in [
+            (1u64, 117usize, 5usize),
+            (2, 64, 7),
+            (3, 230, 9),
+            (4, 33, 33),
+        ] {
+            let db = generate_scaled(&ScaleConfig {
+                seed: 0x9A17_05EC ^ seed,
+                n_machines,
+                ..ScaleConfig::default()
+            })
+            .unwrap();
+            let sharded = ShardedPerfDatabase::from_dense(&db, n_shards).unwrap();
+            let threshold = db.score(2, n_machines / 2);
+            let filters = [
+                MachineFilter::all(),
+                MachineFilter::family(ProcessorFamily::Xeon),
+                MachineFilter::family(ProcessorFamily::Itanium).with_years(2007, 2009),
+                MachineFilter::years(2004, 2006),
+                MachineFilter::years(1990, 1991), // matches nothing
+                MachineFilter::all().with_min_score(2, threshold),
+                MachineFilter::all().with_subset(vec![0, n_machines / 2, n_machines - 1]),
+                MachineFilter::family(ProcessorFamily::Power6)
+                    .with_subset((0..n_machines).step_by(3).collect()),
+            ];
+            for filter in &filters {
+                let plan = DatabaseView::plan_machines(&sharded, filter);
+                let full = scan_machines(&db, filter);
+                assert_eq!(
+                    plan.machines, full,
+                    "{n_machines} machines @ {n_shards} shards, {filter:?}"
+                );
+                assert_eq!(plan.shards_scanned + plan.shards_pruned, n_shards);
+                let rows: Vec<usize> = (0..db.n_benchmarks()).collect();
+                let sharded_gather = DatabaseView::gather(&sharded, &rows, &plan.machines);
+                let dense_gather = DatabaseView::gather(&db, &rows, &full);
+                assert_eq!(sharded_gather.shape(), dense_gather.shape());
+                for i in 0..dense_gather.rows() {
+                    for j in 0..dense_gather.cols() {
+                        assert_eq!(
+                            sharded_gather[(i, j)].to_bits(),
+                            dense_gather[(i, j)].to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_plans_actually_prune_shards() {
+        let db = dense();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 8).unwrap();
+        // The catalog keeps families contiguous, so a one-family
+        // restriction must touch only the shard(s) spanning that family's
+        // column range.
+        let xeons = db.machines_in_family(crate::machine::ProcessorFamily::Xeon);
+        let first_shard = sharded.shard_of(xeons[0]);
+        let last_shard = sharded.shard_of(*xeons.last().unwrap());
+        let plan = DatabaseView::plan_machines(
+            &sharded,
+            &MachineFilter::family(crate::machine::ProcessorFamily::Xeon),
+        );
+        assert_eq!(plan.machines, xeons);
+        assert!(plan.shards_scanned <= last_shard - first_shard + 1);
+        assert!(plan.shards_pruned >= 8 - (last_shard - first_shard + 1));
+        assert!(plan.shards_pruned > 0, "8 shards, one family: must prune");
+    }
+
+    #[test]
+    fn parallel_gather_matches_sequential_bitwise() {
+        let db = dense();
+        let rows: Vec<usize> = (0..db.n_benchmarks()).collect();
+        // Mixed request: a contiguous family range, scattered columns, and
+        // repeated + descending indices to defeat run coalescing.
+        let mut cols: Vec<usize> = db.machines_in_family(crate::machine::ProcessorFamily::Xeon);
+        cols.extend((0..db.n_machines()).step_by(13));
+        cols.extend([116, 57, 57, 0]);
+        for n_shards in [1usize, 4, 7] {
+            let sequential = ShardedPerfDatabase::from_dense(&db, n_shards).unwrap();
+            let expected = DatabaseView::gather(&sequential, &rows, &cols);
+            for threads in [2usize, 4] {
+                let parallel = ShardedPerfDatabase::from_dense(&db, n_shards)
+                    .unwrap()
+                    .with_parallelism(Parallelism::Threads(threads));
+                assert_eq!(parallel.gather_parallelism(), Parallelism::Threads(threads));
+                let got = DatabaseView::gather(&parallel, &rows, &cols);
+                assert_eq!(got.shape(), expected.shape());
+                for i in 0..expected.rows() {
+                    for j in 0..expected.cols() {
+                        assert_eq!(
+                            got[(i, j)].to_bits(),
+                            expected[(i, j)].to_bits(),
+                            "{n_shards} shards, {threads} threads, ({i}, {j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_gathers_are_well_formed() {
+        let db = dense();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 4)
+            .unwrap()
+            .with_parallelism(Parallelism::Threads(2));
+        let rows: Vec<usize> = (0..db.n_benchmarks()).collect();
+        let cols: Vec<usize> = vec![3, 99];
+        for view in [&sharded as &dyn DatabaseView, &db as &dyn DatabaseView] {
+            assert_eq!(view.gather(&[], &cols).shape(), (0, 2));
+            assert_eq!(view.gather(&rows, &[]).shape(), (db.n_benchmarks(), 0));
+            assert_eq!(view.gather(&[], &[]).shape(), (0, 0));
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use datatrans_linalg::{Matrix, VecView};
 use crate::benchmark::Benchmark;
 use crate::database::PerfDatabase;
 use crate::machine::{Machine, ProcessorFamily};
+use crate::query::{scan_machines, MachineFilter, QueryPlan};
 use crate::sharded::ShardReader;
 use crate::{DatasetError, Result};
 
@@ -94,6 +95,28 @@ pub trait DatabaseView: Sync {
     /// Number of storage shards backing this view (dense: 1).
     fn n_shards(&self) -> usize {
         1
+    }
+
+    /// Resolves a machine restriction to a [`QueryPlan`]: the matching
+    /// machine indices in ascending catalog order, plus how many shards
+    /// the planner scanned versus pruned.
+    ///
+    /// The default implementation scans every machine (one logical shard).
+    /// The sharded backing overrides it with a statistics-pruned plan that
+    /// skips shards which provably cannot match — the **machine list is
+    /// identical either way**; only the amount of storage touched differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter references an out-of-range benchmark or
+    /// machine index (validate with [`MachineFilter::invalid_index`]
+    /// first where the filter is untrusted input).
+    fn plan_machines(&self, filter: &MachineFilter) -> QueryPlan {
+        QueryPlan {
+            machines: scan_machines(self, filter),
+            shards_scanned: 1,
+            shards_pruned: 0,
+        }
     }
 
     /// A cheap per-worker read handle.
@@ -243,6 +266,13 @@ impl DatabaseView for DbReader<'_> {
         match self {
             DbReader::Dense(_) => 1,
             DbReader::Sharded(r) => r.n_shards(),
+        }
+    }
+
+    fn plan_machines(&self, filter: &MachineFilter) -> QueryPlan {
+        match self {
+            DbReader::Dense(db) => DatabaseView::plan_machines(*db, filter),
+            DbReader::Sharded(r) => r.plan_machines(filter),
         }
     }
 

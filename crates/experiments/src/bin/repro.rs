@@ -8,15 +8,20 @@ use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use datatrans_experiments::{ablation, fig6, fig7, fig8, table2, table3, table4, ExperimentConfig};
+use datatrans_experiments::{
+    ablation, fig6, fig7, fig8, serve, table2, table3, table4, ExperimentConfig,
+};
 
 fn usage() -> &'static str {
-    "usage: repro [--quick] [--seed N] [--shards N] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]\n\
+    "usage: repro [--quick] [--seed N] [--shards N] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|diag|all]\n\
      \n\
      --quick     reduced budgets (fewer apps/trials/epochs) for a fast pass\n\
      --seed N    dataset + experiment seed (default: paper-run seed)\n\
      --shards N  run on the machine-range-sharded database backing\n\
-                 (results are bitwise-identical to the dense default)\n"
+                 (results are bitwise-identical to the dense default)\n\
+     \n\
+     serve       drive the batched ranking-query engine under a synthetic\n\
+                 request mix (combine with --shards N to see shard pruning)\n"
 }
 
 fn main() -> ExitCode {
@@ -68,6 +73,7 @@ fn main() -> ExitCode {
             "fig7" => fig7::run(&config).map(|r| println!("{r}")),
             "fig8" => fig8::run(&config).map(|r| println!("{r}")),
             "ablation" => ablation::run(&config).map(|r| println!("{r}")),
+            "serve" => serve::run(&config).map(|r| println!("{r}")),
             "diag" => diagnose(&config),
             "all" => run_all(&config),
             other => {

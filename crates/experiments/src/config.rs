@@ -42,6 +42,18 @@ pub struct ExperimentConfig {
     /// bitwise-identical across backings — the shard-equivalence suite
     /// pins the contract.
     pub db_shards: Option<usize>,
+    /// Fan the sharded backing's gather row copies across the worker pool
+    /// (`ShardedPerfDatabase::with_parallelism`). Off by default: the
+    /// harness grids already own the cores, so this pays off only for
+    /// standalone wide gathers (e.g. single large serving requests).
+    /// Results are bitwise-identical either way.
+    pub gather_parallel: bool,
+    /// Nominal request count for the `repro serve` driver's synthetic
+    /// batch (scaled by `trial_scale` like other stochastic-repeat
+    /// counts).
+    pub serve_requests: usize,
+    /// `top_k` cut applied to each synthetic serving request.
+    pub serve_top_k: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -56,6 +68,9 @@ impl Default for ExperimentConfig {
             ga_generations: 40,
             parallelism: Parallelism::default(),
             db_shards: None,
+            gather_parallel: false,
+            serve_requests: 48,
+            serve_top_k: 5,
         }
     }
 }
@@ -159,9 +174,24 @@ impl ExperimentConfig {
         let dense = self.build_database()?;
         match self.db_shards {
             None => Ok(DbBacking::Dense(dense)),
-            Some(n) => Ok(DbBacking::Sharded(ShardedPerfDatabase::from_dense(
-                &dense, n,
-            )?)),
+            Some(n) => {
+                let mut sharded = ShardedPerfDatabase::from_dense(&dense, n)?;
+                if self.gather_parallel {
+                    sharded = sharded.with_parallelism(self.parallelism);
+                }
+                Ok(DbBacking::Sharded(sharded))
+            }
+        }
+    }
+
+    /// The serving engine's configuration at this experiment's budgets:
+    /// same model budgets, same fan-out threads.
+    pub fn serve_config(&self) -> datatrans_core::serve::ServeConfig {
+        datatrans_core::serve::ServeConfig {
+            mlp_epochs: self.mlp_epochs,
+            ga_population: self.ga_population,
+            ga_generations: self.ga_generations,
+            parallelism: self.parallelism,
         }
     }
 

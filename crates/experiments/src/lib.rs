@@ -11,7 +11,9 @@
 //! | [`fig8`]   | Figure 8 — k-medoids vs random predictive selection |
 //!
 //! Beyond the paper, [`ablation`] sweeps the design choices DESIGN.md
-//! calls out (MLP width/epochs/domain, NNᵀ selection criterion, GA-kNN k).
+//! calls out (MLP width/epochs/domain, NNᵀ selection criterion, GA-kNN k),
+//! and [`serve`] drives the concurrent ranking-query engine (shard-pruned
+//! planning + batched prediction) under a synthetic request mix.
 //!
 //! Each module exposes `run(&ExperimentConfig) -> Result<...Result>` whose
 //! output implements `Display`, printing rows in the paper's format. The
@@ -26,6 +28,7 @@ pub mod config;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod serve;
 pub mod table2;
 pub mod table3;
 pub mod table4;

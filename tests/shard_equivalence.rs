@@ -14,6 +14,7 @@ use datatrans::core::task::PredictionTask;
 use datatrans::dataset::database::PerfDatabase;
 use datatrans::dataset::generator::{generate, generate_scaled, DatasetConfig, ScaleConfig};
 use datatrans::dataset::machine::ProcessorFamily;
+use datatrans::dataset::query::MachineFilter;
 use datatrans::dataset::sharded::ShardedPerfDatabase;
 use datatrans::dataset::view::DatabaseView;
 use datatrans::ml::ga::GaConfig;
@@ -183,6 +184,99 @@ fn accessors_identical_across_seeded_shapes_and_shard_layouts() {
             assert_gather_equivalent(&dense, &sharded, &mut rng, &label);
             assert_eq!(sharded.to_dense(), dense, "{label}: round trip");
         }
+    }
+}
+
+#[test]
+fn empty_index_gathers_identical_on_both_backings() {
+    // `gather(&[], _)` / `gather(_, &[])` must return a well-formed 0×n /
+    // n×0 matrix — no panic — on the dense backing, the sharded backing
+    // (sequential and pool-fanned gathers), and their reader handles.
+    let dense = generate(&DatasetConfig::default()).expect("dataset");
+    let sharded = ShardedPerfDatabase::from_dense(&dense, 5).expect("shardable");
+    let parallel = ShardedPerfDatabase::from_dense(&dense, 5)
+        .expect("shardable")
+        .with_parallelism(Parallelism::Threads(4));
+    let rows: Vec<usize> = (0..dense.n_benchmarks()).collect();
+    let cols: Vec<usize> = vec![0, 58, 116];
+    let dense_reader = DatabaseView::reader(&dense);
+    let sharded_reader = DatabaseView::reader(&sharded);
+    let views: [(&dyn DatabaseView, &str); 5] = [
+        (&dense, "dense"),
+        (&sharded, "sharded"),
+        (&parallel, "sharded+parallel"),
+        (&dense_reader, "dense reader"),
+        (&sharded_reader, "sharded reader"),
+    ];
+    for (view, label) in views {
+        let no_rows = view.gather(&[], &cols);
+        assert_eq!(no_rows.shape(), (0, 3), "{label}");
+        let no_cols = view.gather(&rows, &[]);
+        assert_eq!(no_cols.shape(), (dense.n_benchmarks(), 0), "{label}");
+        let nothing = view.gather(&[], &[]);
+        assert_eq!(nothing.shape(), (0, 0), "{label}");
+    }
+}
+
+#[test]
+fn parallel_gather_identical_across_layouts_and_thread_counts() {
+    // Pool-fanned row copies are pure distribution of verbatim copies:
+    // random gathers must match the dense backing bit for bit at any
+    // shard layout and worker count.
+    let dense = generate(&DatasetConfig::default()).expect("dataset");
+    let mut rng = StdRng::seed_from_u64(0x6A7_4E12);
+    for n_shards in [2usize, 5, 117] {
+        for threads in [2usize, 4] {
+            let sharded = ShardedPerfDatabase::from_dense(&dense, n_shards)
+                .expect("shardable")
+                .with_parallelism(Parallelism::Threads(threads));
+            assert_gather_equivalent(
+                &dense,
+                &sharded,
+                &mut rng,
+                &format!("{n_shards} shards, {threads} gather threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn query_plans_identical_on_every_view() {
+    // The planner's machine list is backing-independent: dense full scan,
+    // sharded pruned plan, and both reader handles must agree exactly.
+    let dense = generate(&DatasetConfig::default()).expect("dataset");
+    let sharded = ShardedPerfDatabase::from_dense(&dense, 8).expect("shardable");
+    let threshold = dense.score(2, 60);
+    let filters = [
+        MachineFilter::all(),
+        MachineFilter::family(ProcessorFamily::Xeon),
+        MachineFilter::years(2005, 2008),
+        MachineFilter::family(ProcessorFamily::Power6).with_years(2006, 2009),
+        MachineFilter::all().with_min_score(2, threshold),
+        MachineFilter::all().with_subset(vec![116, 3, 40, 3]),
+        MachineFilter::years(1990, 1995), // empty result
+    ];
+    for filter in &filters {
+        let reference = DatabaseView::plan_machines(&dense, filter);
+        let pruned = DatabaseView::plan_machines(&sharded, filter);
+        assert_eq!(reference.machines, pruned.machines, "{filter:?}");
+        assert_eq!(
+            DatabaseView::reader(&dense).plan_machines(filter).machines,
+            reference.machines,
+            "{filter:?}"
+        );
+        assert_eq!(
+            DatabaseView::reader(&sharded)
+                .plan_machines(filter)
+                .machines,
+            reference.machines,
+            "{filter:?}"
+        );
+        assert_eq!(
+            pruned.shards_scanned + pruned.shards_pruned,
+            8,
+            "{filter:?}"
+        );
     }
 }
 
