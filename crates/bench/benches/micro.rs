@@ -2,7 +2,10 @@
 //! the three predictors on one task, dataset generation, Spearman,
 //! k-medoids, QR least squares, MLP training, the GA-kNN fitness loop,
 //! top-k neighbour selection vs a full sort, the blocked GEMV kernel vs
-//! the scalar loop it replaced, MLPᵀ batch prediction sequential vs
+//! the scalar loop it replaced, the unrolled lane-tree kernels vs their
+//! scalar references (`gemv_unrolled`), the cache-tiled sq-diff builder vs
+//! the naive double loop (`sqdiff_tiled`), the fused scale+clamp pass vs
+//! two passes (`scale_fused`), MLPᵀ batch prediction sequential vs
 //! pooled, the persistent pool vs per-call scoped spawning at
 //! GA-generation granularity, the parallel executor's thread scaling, and
 //! the database layer at scale: point queries/gathers (`db_query`) and
@@ -237,6 +240,98 @@ fn bench_gemv(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// The unrolled lane-tree GEMV against its scalar reference at the gated
+/// row count (b = 1024, the largest fitness-path shape). Both sides reduce
+/// over the same fixed 4-lane summation tree — `scalar_ref` is
+/// `kernels::dot_ref` per row, the bitwise-equal specification the
+/// unrolled path is tested against — so the comparison isolates the
+/// unrolling itself, not a summation-order change. `scalar_seq` (the plain
+/// sequential sum) rides along for context and is not gated.
+fn bench_gemv_unrolled(c: &mut Criterion) {
+    use datatrans_linalg::kernels;
+    let (b, d) = (1024usize, 32usize);
+    let m = Matrix::from_fn(b, d, |i, j| (((i * 31 + j * 7) % 23) as f64) * 0.125);
+    let v: Vec<f64> = (0..d).map(|j| ((j * 13 % 11) as f64) * 0.09).collect();
+    let mut group = c.benchmark_group("gemv_unrolled");
+    group.sample_size(60);
+    group.bench_function("unrolled_1024", |bch| {
+        let mut out = vec![0.0; b];
+        bch.iter(|| {
+            m.mul_vec_into(&v, &mut out).expect("shapes fixed");
+            std::hint::black_box(out[b - 1])
+        })
+    });
+    group.bench_function("scalar_ref_1024", |bch| {
+        let mut out = vec![0.0; b];
+        bch.iter(|| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = kernels::dot_ref(m.row(i), &v);
+            }
+            std::hint::black_box(out[b - 1])
+        })
+    });
+    group.bench_function("scalar_seq_1024", |bch| {
+        let mut out = vec![0.0; b];
+        bch.iter(|| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = m.row(i).iter().zip(&v).map(|(a, x)| a * x).sum();
+            }
+            std::hint::black_box(out[b - 1])
+        })
+    });
+    group.finish();
+}
+
+/// The cache-tiled pairwise squared-difference builder against the naive
+/// mirror-writing double loop it replaced, at a row count above the
+/// 32-row tile edge (GA-kNN's real b is 28; 64 exercises full tiles).
+fn bench_sqdiff_tiled(c: &mut Criterion) {
+    use datatrans_linalg::kernels;
+    let (b, d) = (64usize, 24usize);
+    let chars = Matrix::from_fn(b, d, |i, j| (((i * 29 + j * 13) % 19) as f64) * 0.21);
+    let mut group = c.benchmark_group("sqdiff_tiled");
+    group.sample_size(30);
+    group.bench_function("tiled_64x24", |bch| {
+        bch.iter(|| std::hint::black_box(kernels::pairwise_sq_diffs(&chars).as_slice()[d]))
+    });
+    group.bench_function("naive_64x24", |bch| {
+        bch.iter(|| std::hint::black_box(kernels::pairwise_sq_diffs_ref(&chars).as_slice()[d]))
+    });
+    group.finish();
+}
+
+/// The fused in-place scale+clamp kernel against the two separate passes
+/// it replaces on the MLPᵀ prediction clamp stage.
+fn bench_scale_fused(c: &mut Criterion) {
+    use datatrans_linalg::kernels;
+    let n = 4096usize;
+    let base: Vec<f64> = (0..n).map(|i| ((i % 97) as f64) * 0.11 - 4.0).collect();
+    let mut group = c.benchmark_group("scale_fused");
+    group.sample_size(60);
+    group.bench_function("fused_4096", |bch| {
+        let mut buf = base.clone();
+        bch.iter(|| {
+            buf.copy_from_slice(&base);
+            kernels::scale_clamp_in_place(&mut buf, 1.7, -3.0, 3.0);
+            std::hint::black_box(buf[n - 1])
+        })
+    });
+    group.bench_function("two_pass_4096", |bch| {
+        let mut buf = base.clone();
+        bch.iter(|| {
+            buf.copy_from_slice(&base);
+            for x in buf.iter_mut() {
+                *x *= 1.7;
+            }
+            for x in buf.iter_mut() {
+                *x = x.clamp(-3.0, 3.0);
+            }
+            std::hint::black_box(buf[n - 1])
+        })
+    });
     group.finish();
 }
 
@@ -584,6 +679,9 @@ criterion_group!(
     bench_ga_fitness,
     bench_knn_topk,
     bench_gemv,
+    bench_gemv_unrolled,
+    bench_sqdiff_tiled,
+    bench_scale_fused,
     bench_mlpt_predict,
     bench_executor,
     bench_parallel_scaling,

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <new.json>... [--threshold 0.25] [--groups ga_fitness,knn_topk]
+//!            [--require-faster fast_id:slow_id]...
 //! ```
 //!
 //! Several `<new.json>` files may be given because the harness writes one
@@ -17,6 +18,16 @@
 //! than minima are compared — the committed baseline comes from a
 //! different machine, so the threshold must absorb ordinary CI noise, and
 //! 25% has proven wide enough for medians of ≥10 samples.
+//!
+//! `--require-faster fast_id:slow_id` (repeatable) asserts a *same-run*
+//! ordering on the fresh reports: the gate fails unless `fast_id`'s fresh
+//! median is strictly below `slow_id`'s. Unlike the baseline comparison
+//! this is machine-independent — both medians come from the same run on
+//! the same hardware — so it proves an optimization actually wins over the
+//! reference it replaced (e.g. the unrolled GEMV over the scalar lane-tree
+//! reference), not merely that it didn't regress. Both ids must be present
+//! in the fresh reports; a missing id fails the gate (exit 2, like a
+//! stale-baseline group).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -26,21 +37,26 @@ use datatrans_bench::harness::{parse_report, BenchRecord};
 /// Default allowed median growth before a watched benchmark fails the gate.
 const DEFAULT_THRESHOLD: f64 = 0.25;
 /// Default watched groups: the GA-kNN fitness kernel, top-k selection,
-/// the database layer's scale queries and shard scans, and the serving
-/// layer's pool-fanned gathers and batched ranking queries.
-const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk,db_query,db_shard_scan,db_gather_par,query_batch";
+/// the unrolled-kernel and tiled-builder comparisons, the database layer's
+/// scale queries and shard scans, and the serving layer's pool-fanned
+/// gathers and batched ranking queries.
+const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk,gemv_unrolled,sqdiff_tiled,scale_fused,\
+                              db_query,db_shard_scan,db_gather_par,query_batch";
 
 struct Args {
     baseline: String,
     new_reports: Vec<String>,
     threshold: f64,
     groups: Vec<String>,
+    /// `(fast_id, slow_id)` same-run ordering assertions.
+    require_faster: Vec<(String, String)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff <baseline.json> <new.json>... \
-         [--threshold {DEFAULT_THRESHOLD}] [--groups {DEFAULT_GROUPS}]"
+         [--threshold {DEFAULT_THRESHOLD}] [--groups {DEFAULT_GROUPS}] \
+         [--require-faster fast_id:slow_id]..."
     );
     std::process::exit(2);
 }
@@ -49,6 +65,7 @@ fn parse_args() -> Args {
     let mut paths = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
     let mut groups = DEFAULT_GROUPS.to_owned();
+    let mut require_faster = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,6 +75,15 @@ fn parse_args() -> Args {
             },
             "--groups" => match args.next() {
                 Some(g) => groups = g,
+                None => usage(),
+            },
+            "--require-faster" => match args.next() {
+                Some(pair) => match pair.split_once(':') {
+                    Some((fast, slow)) if !fast.is_empty() && !slow.is_empty() => {
+                        require_faster.push((fast.to_owned(), slow.to_owned()));
+                    }
+                    _ => usage(),
+                },
                 None => usage(),
             },
             _ if arg.starts_with('-') => usage(),
@@ -77,6 +103,7 @@ fn parse_args() -> Args {
             .map(|g| g.trim().to_owned())
             .filter(|g| !g.is_empty())
             .collect(),
+        require_faster,
     }
 }
 
@@ -159,6 +186,42 @@ fn main() -> ExitCode {
                 .join(", ")
         );
         return ExitCode::from(2);
+    }
+    // Same-run ordering assertions: prove the optimized id actually beats
+    // its reference on this machine, in this run.
+    let mut ordering_failures = Vec::new();
+    for (fast, slow) in &args.require_faster {
+        let (Some(&fast_ns), Some(&slow_ns)) = (fresh.get(fast), fresh.get(slow)) else {
+            let missing: Vec<&str> = [fast, slow]
+                .into_iter()
+                .filter(|id| !fresh.contains_key(*id))
+                .map(|id| id.as_str())
+                .collect();
+            eprintln!(
+                "bench_diff: --require-faster id(s) missing from the new reports: {}",
+                missing.join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        let ratio = slow_ns as f64 / fast_ns.max(1) as f64;
+        let verdict = if fast_ns < slow_ns {
+            "ok"
+        } else {
+            ordering_failures.push(format!("{fast} !< {slow}"));
+            "NOT FASTER"
+        };
+        println!(
+            "  require-faster {fast} ({fast_ns} ns) vs {slow} ({slow_ns} ns)  \
+             ({ratio:.2}x)  {verdict}"
+        );
+    }
+    if !ordering_failures.is_empty() {
+        eprintln!(
+            "bench_diff: {} required ordering(s) violated: {}",
+            ordering_failures.len(),
+            ordering_failures.join("; ")
+        );
+        return ExitCode::FAILURE;
     }
     if regressions.is_empty() {
         println!("bench_diff: {watched} watched benchmark(s), no median regression");

@@ -17,7 +17,7 @@
 //! unrelated benchmarks (over 100% top-1 error on `libquantum`-class
 //! workloads).
 
-use datatrans_linalg::Matrix;
+use datatrans_linalg::{kernels, Matrix};
 use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
 use datatrans_ml::knn::{
     combine_targets_with, select_k_nearest, KnnIndex, Neighbor, NeighborWeighting,
@@ -155,21 +155,12 @@ impl Predictor for GaKnn {
 /// flat `(b·b) × d` matrix: row `i·b + j` is the difference vector between
 /// benchmarks `i` and `j` in standardized characteristic space. One
 /// contiguous allocation replaces the former `Vec<Vec<Vec<f64>>>` (b² + b +
-/// 1 allocations, pointer-chasing on every GA fitness evaluation).
+/// 1 allocations, pointer-chasing on every GA fitness evaluation). The
+/// builder is the cache-tiled [`kernels::pairwise_sq_diffs`], whose output
+/// is bitwise-identical to the naive pair loop it replaced (squaring is
+/// elementwise; only the traversal order changed).
 fn pairwise_sq_diffs(chars: &Matrix) -> Matrix {
-    let (b, d) = chars.shape();
-    let mut out = Matrix::zeros(b * b, d);
-    for i in 0..b {
-        for j in (i + 1)..b {
-            for dim in 0..d {
-                let diff = chars[(i, dim)] - chars[(j, dim)];
-                let sq = diff * diff;
-                out[(i * b + j, dim)] = sq;
-                out[(j * b + i, dim)] = sq;
-            }
-        }
-    }
-    out
+    kernels::pairwise_sq_diffs(chars)
 }
 
 /// Shared state for GA fitness evaluation.
@@ -205,10 +196,13 @@ impl FitnessContext<'_> {
     /// The whole evaluation's distance work is **one GEMV**: the flat
     /// `(b·b) × d` squared-difference matrix times the weight vector fills
     /// `scratch.sq_dist` with every pairwise weighted squared distance,
-    /// replacing the former per-pair scalar loop. Each row of the GEMV
-    /// accumulates in the same dimension order as that loop did, so the
-    /// error — and every golden GA-kNN snapshot downstream — is bitwise
-    /// unchanged.
+    /// replacing the former per-pair scalar loop. Each GEMV row reduces
+    /// over the fixed 4-lane summation tree of
+    /// [`datatrans_linalg::kernels`] — results are deterministic (the tree
+    /// is pinned by the kernel tests). When the tree replaced the
+    /// sequential per-row order the golden GA-kNN snapshot in
+    /// `tests/determinism.rs` did not move: fitness values enter the GA
+    /// only through comparisons, and none flipped.
     fn loo_error(&self, weights: &[f64], scratch: &mut LooScratch) -> f64 {
         let b = self.scores.rows();
         let t = self.scores.cols();

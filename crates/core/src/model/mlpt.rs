@@ -11,6 +11,7 @@
 //! benchmark scores, the label is the app's score on it. Prediction applies
 //! the network to each target machine's published benchmark scores.
 
+use datatrans_linalg::kernels;
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
 use datatrans_ml::scale::MinMaxScaler;
 use datatrans_parallel::Parallelism;
@@ -117,20 +118,30 @@ impl Predictor for MlpT {
         // worker reuses one MlpScratch across its targets, and the merged
         // results come back in target order, so the output is
         // bitwise-identical to the sequential loop at any thread count.
-        self.parallelism
+        let mut raw: Vec<f64> = self
+            .parallelism
             .par_map_indexed_with(
                 MIN_PARALLEL_TARGETS,
                 task.n_targets(),
                 || model.scratch(),
                 |scratch, t| -> Result<f64> {
                     let raw = model.predict_with_scratch(target_features.row(t), scratch)?;
-                    let raw = if raw.is_finite() { raw } else { fallback };
-                    let raw = raw.clamp(fallback - 3.0 * spread, fallback + 3.0 * spread);
-                    Ok(inv(raw).max(1e-6))
+                    Ok(if raw.is_finite() { raw } else { fallback })
                 },
             )
             .into_iter()
-            .collect()
+            .collect::<Result<_>>()?;
+        // Clamp stage: one fused pass over the collected raw predictions
+        // (the scale factor of 1.0 is an exact identity on finite values,
+        // so this is a pure clamp — bitwise-identical to clamping inside
+        // the per-target loop).
+        kernels::scale_clamp_in_place(
+            &mut raw,
+            1.0,
+            fallback - 3.0 * spread,
+            fallback + 3.0 * spread,
+        );
+        Ok(raw.into_iter().map(|r| inv(r).max(1e-6)).collect())
     }
 }
 

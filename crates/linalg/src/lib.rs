@@ -32,6 +32,7 @@ mod matrix;
 mod view;
 
 pub mod decomp;
+pub mod kernels;
 pub mod solve;
 pub mod vecops;
 

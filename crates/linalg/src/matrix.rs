@@ -265,21 +265,17 @@ impl Matrix {
 
     /// Matrix–vector product `self * v`.
     ///
+    /// Allocates the output and delegates to [`Matrix::mul_vec_into`], so
+    /// every matrix–vector product in the workspace reduces over the same
+    /// fixed summation tree (see [`crate::kernels`]).
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != v.len()`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
-        if self.cols != v.len() {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matvec",
-                lhs: self.shape(),
-                rhs: (v.len(), 1),
-            });
-        }
-        Ok(self
-            .iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(v, &mut out)?;
+        Ok(out)
     }
 
     /// Matrix–vector product into a caller-owned buffer: the

@@ -73,20 +73,42 @@ pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
 }
 
 /// Scales every element by `s` into a new vector.
+///
+/// Allocating convenience wrapper around [`scale_into`]; hot paths should
+/// use [`scale_into`] or [`scale_in_place`] to reuse a buffer instead.
 pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
-    a.iter().map(|x| x * s).collect()
+    let mut out = vec![0.0; a.len()];
+    scale_into(&mut out, a, s);
+    out
+}
+
+/// Writes `a[i] * s` into `out` — the allocation-free form of [`scale`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn scale_into(out: &mut [f64], a: &[f64], s: f64) {
+    crate::kernels::scale_into(out, a, s);
+}
+
+/// Multiplies every element of `a` by `s` in place.
+pub fn scale_in_place(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
 }
 
 /// In-place `a += s * b` (axpy).
+///
+/// Delegates to the unrolled [`crate::kernels::axpy`]; the update is
+/// elementwise, so results are bitwise-identical to the plain loop.
 ///
 /// # Errors
 ///
 /// Returns [`LinalgError::DimensionMismatch`] if lengths differ.
 pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) -> Result<()> {
     check_same_len("axpy", a, b)?;
-    for (x, y) in a.iter_mut().zip(b) {
-        *x += s * y;
-    }
+    crate::kernels::axpy(a, s, b);
     Ok(())
 }
 
@@ -138,6 +160,24 @@ mod tests {
         let mut a = vec![1.0, 1.0];
         axpy(&mut a, 2.0, &[1.0, 3.0]).unwrap();
         assert_eq!(a, vec![3.0, 7.0]);
+        assert!(axpy(&mut a, 1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn scale_variants_agree_bitwise() {
+        let a: Vec<f64> = (0..11).map(|i| (i as f64) * 0.37 - 2.0).collect();
+        let s = 1.0 / 3.0;
+        let fresh = scale(&a, s);
+        let mut into = vec![f64::NAN; a.len()];
+        scale_into(&mut into, &a, s);
+        let mut in_place = a.clone();
+        scale_in_place(&mut in_place, s);
+        for i in 0..a.len() {
+            let want = (a[i] * s).to_bits();
+            assert_eq!(fresh[i].to_bits(), want, "scale idx {i}");
+            assert_eq!(into[i].to_bits(), want, "scale_into idx {i}");
+            assert_eq!(in_place[i].to_bits(), want, "scale_in_place idx {i}");
+        }
     }
 
     #[test]

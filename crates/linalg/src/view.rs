@@ -32,12 +32,7 @@
 use std::fmt;
 use std::ops::Index;
 
-use crate::{LinalgError, Matrix, Result};
-
-/// Rows processed per pass of the blocked GEMV in
-/// [`MatrixView::mul_vec_into`]: each loaded `v[j]` feeds this many
-/// accumulators, amortizing the vector traffic across the block.
-const GEMV_ROW_BLOCK: usize = 4;
+use crate::{kernels, LinalgError, Matrix, Result};
 
 /// A borrowed, strided, read-only view of a matrix.
 #[derive(Clone, Copy)]
@@ -157,15 +152,15 @@ impl<'a> MatrixView<'a> {
     /// Matrix–vector product `out[i] = Σⱼ self[i,j] · v[j]` into a
     /// caller-owned buffer — the allocation-free GEMV kernel for hot loops.
     ///
-    /// The kernel is row-blocked: [`GEMV_ROW_BLOCK`] rows are accumulated
-    /// per pass over `v`, so each loaded `v[j]` feeds that many independent
-    /// accumulators (and, on the contiguous fast path, each row is read as
-    /// a bounds-check-free slice). Every row still keeps **one**
-    /// accumulator added in `j = 0..cols` order, so each `out[i]` is
-    /// bitwise-identical to the scalar loop
-    /// `(0..cols).map(|j| self.at(i, j) * v[j]).sum()` — blocking buys
-    /// instruction-level parallelism across rows without touching the
-    /// per-row summation order the determinism tests pin down.
+    /// Every row reduces over the fixed 4-lane summation tree of
+    /// [`crate::kernels`] (lane `l` sums terms with `j ≡ l (mod 4)`, lanes
+    /// combine as `(l₀+l₁)+(l₂+l₃)`), so each `out[i]` is
+    /// bitwise-identical to `kernels::dot_ref(row_i, v)` on both the
+    /// contiguous and the strided path. The contiguous path runs
+    /// [`kernels::dot_unrolled`] per row — the lane accumulators vectorize,
+    /// and per-row unrolling measured faster than the 4-row-blocked
+    /// variants it replaced (see the kernel's docs) — without touching the
+    /// per-row tree the determinism tests pin down.
     ///
     /// # Errors
     ///
@@ -194,50 +189,23 @@ impl<'a> MatrixView<'a> {
         Ok(())
     }
 
-    /// Blocked GEMV over rows that are contiguous slices (`col_stride == 1`
-    /// — a matrix or any row-aligned window of one).
+    /// GEMV over rows that are contiguous slices (`col_stride == 1` — a
+    /// matrix or any row-aligned window of one): one unrolled lane-tree
+    /// dot per row.
     fn gemv_contiguous(&self, v: &[f64], out: &mut [f64]) {
         let cols = self.cols;
-        let row = |i: usize| -> &[f64] {
+        for (i, acc) in out.iter_mut().enumerate() {
             let base = self.offset + i * self.row_stride;
-            &self.data[base..base + cols]
-        };
-        let mut i = 0;
-        while i + GEMV_ROW_BLOCK <= self.rows {
-            let (r0, r1, r2, r3) = (row(i), row(i + 1), row(i + 2), row(i + 3));
-            let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
-            for (j, &vj) in v.iter().enumerate() {
-                a0 += r0[j] * vj;
-                a1 += r1[j] * vj;
-                a2 += r2[j] * vj;
-                a3 += r3[j] * vj;
-            }
-            out[i] = a0;
-            out[i + 1] = a1;
-            out[i + 2] = a2;
-            out[i + 3] = a3;
-            i += GEMV_ROW_BLOCK;
-        }
-        for (acc, ri) in out[i..].iter_mut().zip(i..self.rows) {
-            let r = row(ri);
-            let mut a = 0.0;
-            for (j, &vj) in v.iter().enumerate() {
-                a += r[j] * vj;
-            }
-            *acc = a;
+            *acc = kernels::dot_unrolled(&self.data[base..base + cols], v);
         }
     }
 
     /// General strided GEMV (transposed or column views); same per-row
-    /// accumulation order as the contiguous path.
+    /// summation tree as the contiguous path.
     fn gemv_strided(&self, v: &[f64], out: &mut [f64]) {
         for (i, acc) in out.iter_mut().enumerate() {
             let base = self.offset + i * self.row_stride;
-            let mut a = 0.0;
-            for (j, &vj) in v.iter().enumerate() {
-                a += self.data[base + j * self.col_stride] * vj;
-            }
-            *acc = a;
+            *acc = kernels::dot_strided(self.data, base, self.col_stride, v);
         }
     }
 }
@@ -454,16 +422,14 @@ mod tests {
         let _ = m.col_view(0).at(9);
     }
 
-    /// The scalar reference GEMV: per-row sequential accumulation, the
-    /// exact summation order `mul_vec_into` must reproduce bit for bit.
+    /// The scalar reference GEMV: each row gathered into a dense slice and
+    /// reduced by `kernels::dot_ref` — the exact lane-accumulated summation
+    /// tree `mul_vec_into` must reproduce bit for bit on every path.
     fn gemv_reference(m: &MatrixView<'_>, v: &[f64]) -> Vec<f64> {
         (0..m.rows())
             .map(|i| {
-                let mut acc = 0.0;
-                for (j, &vj) in v.iter().enumerate() {
-                    acc += m.at(i, j) * vj;
-                }
-                acc
+                let row: Vec<f64> = m.row_view(i).iter().collect();
+                kernels::dot_ref(&row, v)
             })
             .collect()
     }

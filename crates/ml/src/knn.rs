@@ -6,7 +6,7 @@
 //! learned by a genetic algorithm. This module supplies the neighbour
 //! machinery; the GA lives in [`crate::ga`].
 
-use datatrans_linalg::{vecops, Matrix};
+use datatrans_linalg::{kernels, vecops, Matrix};
 
 use crate::{MlError, Result};
 
@@ -157,13 +157,17 @@ impl KnnIndex {
             });
         }
         out.clear();
-        out.extend(self.points.iter_rows().enumerate().map(|(i, row)| {
-            Neighbor {
-                index: i,
-                distance: vecops::weighted_euclidean_distance(query, row, &self.weights)
-                    .expect("lengths validated"),
-            }
-        }));
+        // Distance kernel: the unrolled fixed-tree weighted squared
+        // distance (lengths were validated above), rooted once per row.
+        out.extend(
+            self.points
+                .iter_rows()
+                .enumerate()
+                .map(|(i, row)| Neighbor {
+                    index: i,
+                    distance: kernels::weighted_sqdist_unrolled(query, row, &self.weights).sqrt(),
+                }),
+        );
         select_k_nearest(out, k);
         Ok(())
     }

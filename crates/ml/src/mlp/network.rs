@@ -44,12 +44,17 @@ impl Layer {
 
     /// Forward pass for one sample, writing into `output`
     /// (`output.len() == self.outputs`).
+    ///
+    /// The per-neuron weighted sum reduces over the fixed 4-lane summation
+    /// tree of [`datatrans_linalg::kernels`] (bias added after the
+    /// reduction), so forward passes — and therefore whole training
+    /// trajectories — are a deterministic function of the weights alone.
     pub fn forward(&self, input: &[f64], output: &mut [f64]) {
         debug_assert_eq!(input.len(), self.inputs);
         debug_assert_eq!(output.len(), self.outputs);
         for (o, out) in output.iter_mut().enumerate() {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let z: f64 = self.biases[o] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
+            let z = self.biases[o] + datatrans_linalg::kernels::dot_unrolled(row, input);
             *out = self.activation.apply(z);
         }
     }

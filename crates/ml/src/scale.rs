@@ -161,6 +161,13 @@ impl MinMaxScaler {
 
     /// Scales a full sample row in place.
     ///
+    /// Vectorized form of [`MinMaxScaler::transform_value`] over the row:
+    /// one zipped pass against the fitted bounds, with the **same**
+    /// per-element expression `lo + (v − min) / (max − min) · (hi − lo)`
+    /// — so each output is bitwise-identical to calling `transform_value`
+    /// per element (floating-point rounding depends on the operation
+    /// order, so the expression is pinned, not just the formula).
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidInput`] if the row length differs from the
@@ -173,13 +180,23 @@ impl MinMaxScaler {
                 self.mins.len()
             )));
         }
-        for (j, v) in row.iter_mut().enumerate() {
-            *v = self.transform_value(j, *v);
+        let mid = (self.lo + self.hi) / 2.0;
+        let span = self.hi - self.lo;
+        for (v, (&min, &max)) in row.iter_mut().zip(self.mins.iter().zip(&self.maxs)) {
+            *v = if max == min {
+                mid
+            } else {
+                self.lo + (*v - min) / (max - min) * span
+            };
         }
         Ok(())
     }
 
     /// Scales an entire sample matrix, returning a new matrix.
+    ///
+    /// Whole-column vectorized: each output row is produced by one
+    /// [`MinMaxScaler::transform_row`] pass over a copied input row,
+    /// bitwise-identical to the former per-element `transform_value` map.
     ///
     /// # Errors
     ///
@@ -192,9 +209,60 @@ impl MinMaxScaler {
                 self.mins.len()
             )));
         }
-        Ok(Matrix::from_fn(data.rows(), data.cols(), |i, j| {
-            self.transform_value(j, data[(i, j)])
-        }))
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            self.transform_row(out.row_mut(i))?;
+        }
+        Ok(out)
+    }
+
+    /// Maps a full row of scaled values back to the original feature
+    /// domain in place — the vectorized inverse of
+    /// [`MinMaxScaler::transform_row`], pinned to the per-element
+    /// expression of [`MinMaxScaler::inverse_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] if the row length differs from the
+    /// fitted feature count.
+    pub fn inverse_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.mins.len() {
+            return Err(MlError::invalid_input(format!(
+                "row has {} features, scaler fitted on {}",
+                row.len(),
+                self.mins.len()
+            )));
+        }
+        let span = self.hi - self.lo;
+        for (s, (&min, &max)) in row.iter_mut().zip(self.mins.iter().zip(&self.maxs)) {
+            *s = if max == min {
+                min
+            } else {
+                min + (*s - self.lo) / span * (max - min)
+            };
+        }
+        Ok(())
+    }
+
+    /// Maps an entire matrix of scaled values back to the original feature
+    /// domain — the batch inverse of [`MinMaxScaler::transform`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] on column-count mismatch.
+    pub fn inverse(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.mins.len() {
+            return Err(MlError::invalid_input(format!(
+                "data has {} features, scaler fitted on {}",
+                data.cols(),
+                self.mins.len()
+            )));
+        }
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            self.inverse_row(out.row_mut(i))?;
+        }
+        Ok(out)
     }
 }
 
@@ -369,6 +437,105 @@ mod tests {
         assert!(MinMaxScaler::fit_1d(&[], -1.0, 1.0).is_err());
         assert!(MinMaxScaler::fit_1d(&[1.0, f64::NAN], -1.0, 1.0).is_err());
         assert!(MinMaxScaler::fit_1d(&[1.0], 1.0, -1.0).is_err());
+    }
+
+    /// A constant column (zero range) pins every transformed value — even
+    /// ones far outside the fitted point — to the output midpoint, and the
+    /// inverse returns the fitted constant regardless of the scaled input.
+    #[test]
+    fn minmax_constant_column_zero_range_pinned() {
+        let data = Matrix::from_rows(&[&[7.5, 1.0], &[7.5, 3.0], &[7.5, 2.0]]).unwrap();
+        let s = MinMaxScaler::fit(&data, -1.0, 1.0).unwrap();
+        // Transform: the constant feature maps to the midpoint whatever
+        // value comes in; the varying feature scales normally.
+        for v in [7.5, 0.0, -1e6, 42.0] {
+            assert_eq!(s.transform_value(0, v), 0.0, "input {v}");
+        }
+        assert_eq!(s.transform_value(1, 2.0), 0.0);
+        // Inverse: the constant feature recovers the fitted constant for
+        // any scaled input.
+        for z in [-1.0, 0.0, 0.7, 5.0] {
+            assert_eq!(s.inverse_value(0, z), 7.5, "scaled {z}");
+        }
+        // Matrix paths agree with the scalar path.
+        let t = s.transform(&data).unwrap();
+        assert_eq!(t.col(0), vec![0.0, 0.0, 0.0]);
+        let back = s.inverse(&t).unwrap();
+        assert_eq!(back.col(0), vec![7.5, 7.5, 7.5]);
+        assert_eq!(back.col(1), vec![1.0, 3.0, 2.0]);
+    }
+
+    /// A single-sample fit is legal: every feature has zero range, so the
+    /// whole row transforms to the midpoint and inverts to the sample.
+    #[test]
+    fn minmax_single_sample_fit() {
+        let data = Matrix::from_rows(&[&[3.0, -2.0, 0.5]]).unwrap();
+        let s = MinMaxScaler::fit(&data, 0.0, 1.0).unwrap();
+        assert_eq!(s.n_features(), 3);
+        let t = s.transform(&data).unwrap();
+        assert_eq!(t.as_slice(), &[0.5, 0.5, 0.5]);
+        let back = s.inverse(&t).unwrap();
+        assert_eq!(back.as_slice(), data.as_slice());
+        // 1-d convenience constructor behaves the same.
+        let s1 = MinMaxScaler::fit_1d(&[4.0], -1.0, 1.0).unwrap();
+        assert_eq!(s1.transform_value(0, 4.0), 0.0);
+        assert_eq!(s1.transform_value(0, 100.0), 0.0);
+        assert_eq!(s1.inverse_value(0, 0.3), 4.0);
+    }
+
+    /// NaN behavior, pinned explicitly: fitting on NaN data is an error
+    /// (every constructor), while transforming a NaN through a fitted
+    /// scaler propagates NaN — the scaler does linear arithmetic, it does
+    /// not sanitize.
+    #[test]
+    fn minmax_nan_behavior_pinned() {
+        let nan_matrix = Matrix::from_rows(&[&[f64::NAN, 1.0], &[0.0, 2.0]]).unwrap();
+        assert!(MinMaxScaler::fit(&nan_matrix, -1.0, 1.0).is_err());
+        assert!(MinMaxScaler::weka(&nan_matrix).is_err());
+        assert!(MinMaxScaler::fit_1d(&[f64::NAN], -1.0, 1.0).is_err());
+
+        let s = MinMaxScaler::fit_1d(&[0.0, 10.0], -1.0, 1.0).unwrap();
+        assert!(s.transform_value(0, f64::NAN).is_nan());
+        assert!(s.inverse_value(0, f64::NAN).is_nan());
+        let mut row = [f64::NAN];
+        s.transform_row(&mut row).unwrap();
+        assert!(row[0].is_nan());
+        // Exception: a zero-range feature short-circuits to the midpoint
+        // before any arithmetic touches the value, so NaN input yields the
+        // midpoint there. Pinned so a refactor cannot change it silently.
+        let constant = MinMaxScaler::fit_1d(&[5.0], -1.0, 1.0).unwrap();
+        assert_eq!(constant.transform_value(0, f64::NAN), 0.0);
+        assert_eq!(constant.inverse_value(0, f64::NAN), 5.0);
+    }
+
+    /// The vectorized row/matrix transforms and the scalar
+    /// `transform_value` / `inverse_value` must agree bitwise — they pin
+    /// the same per-element operation sequence.
+    #[test]
+    fn minmax_vectorized_paths_match_scalar_bitwise() {
+        let data = Matrix::from_fn(7, 5, |i, j| ((i * 13 + j * 29) % 23) as f64 * 0.71 - 4.0);
+        let s = MinMaxScaler::fit(&data, -1.0, 1.0).unwrap();
+        let probe = Matrix::from_fn(4, 5, |i, j| ((i * 7 + j * 3) % 19) as f64 * 1.37 - 9.0);
+        let t = s.transform(&probe).unwrap();
+        for i in 0..probe.rows() {
+            for j in 0..probe.cols() {
+                assert_eq!(
+                    t[(i, j)].to_bits(),
+                    s.transform_value(j, probe[(i, j)]).to_bits(),
+                    "transform ({i}, {j})"
+                );
+            }
+        }
+        let back = s.inverse(&t).unwrap();
+        for i in 0..t.rows() {
+            for j in 0..t.cols() {
+                assert_eq!(
+                    back[(i, j)].to_bits(),
+                    s.inverse_value(j, t[(i, j)]).to_bits(),
+                    "inverse ({i}, {j})"
+                );
+            }
+        }
     }
 
     #[test]

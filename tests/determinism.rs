@@ -171,6 +171,40 @@ fn nnt_view_path_matches_naive_reference_bitwise() {
     }
 }
 
+/// Kernel determinism contract on real pipeline data: the cache-tiled
+/// squared-difference builder and the unrolled GEMV must agree **bitwise**
+/// with their scalar references over the generated catalog's machine
+/// characteristics — exactly the matrices the GA-kNN fitness loop streams
+/// through. (Synthetic remainder-lane coverage lives in
+/// `crates/linalg/tests/kernels.rs`; this test pins the contract end to
+/// end on production-shaped data, on every platform.)
+#[test]
+fn kernel_contract_holds_on_generated_characteristics() {
+    use datatrans::linalg::kernels;
+
+    let task = task_with_seed(5);
+    let chars = &task.train_characteristics;
+    let tiled = kernels::pairwise_sq_diffs(chars);
+    let naive = kernels::pairwise_sq_diffs_ref(chars);
+    assert_eq!(tiled.shape(), naive.shape());
+    for (t, n) in tiled.as_slice().iter().zip(naive.as_slice()) {
+        assert_eq!(t.to_bits(), n.to_bits(), "tiled sq-diff builder drifted");
+    }
+
+    // The fitness GEMV: flat (b²×d) sq-diff matrix times a weight vector.
+    let d = chars.cols();
+    let weights: Vec<f64> = (0..d).map(|j| 0.25 + 0.5 * j as f64 / d as f64).collect();
+    let mut out = vec![f64::NAN; tiled.rows()];
+    tiled.view().mul_vec_into(&weights, &mut out).expect("gemv");
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(
+            v.to_bits(),
+            kernels::dot_ref(tiled.row(i), &weights).to_bits(),
+            "GEMV row {i} left the fixed summation tree"
+        );
+    }
+}
+
 /// Golden digest of the 1k-machine scale catalog: one column checksum per
 /// processor family (the sum of every machine column in the family), so
 /// any drift in the scale generator — catalog expansion order, jitter
@@ -240,6 +274,15 @@ fn scaled_catalog_matches_golden_digest() {
 /// where the constants were recorded. The fully platform-independent
 /// equivalence check is `nnt_view_path_matches_naive_reference_bitwise`
 /// above.
+///
+/// History: the fixed 4-lane summation-tree kernels
+/// (`datatrans_linalg::kernels`) replaced the sequential per-element
+/// reductions in GEMV, kNN distances, and the MLP forward pass, and landed
+/// *inside* this band — NNᵀ and GA-kNN moved 0 ULP (GA fitness enters only
+/// through comparisons, and none flipped), MLPᵀ drifted 3 ULP through its
+/// training trajectory. The constants were therefore not regenerated; the
+/// kernels' own bitwise contract is pinned by
+/// `crates/linalg/tests/kernels.rs`.
 #[cfg(all(target_arch = "x86_64", target_os = "linux", target_env = "gnu"))]
 #[test]
 fn predictions_match_golden_snapshot() {
