@@ -11,14 +11,19 @@
 //! the database layer at scale: point queries/gathers (`db_query`) and
 //! row/shard scans (`db_shard_scan`) on a 1k-machine catalog, dense vs
 //! sharded, plus the serving layer: pool-fanned sharded gathers
-//! (`db_gather_par`) and the batched ranking-query front end
-//! (`query_batch`), dense vs sharded-with-pruning.
+//! (`db_gather_par`), the batched ranking-query front end
+//! (`query_batch`), dense vs sharded-with-pruning, the versioned result
+//! cache cold vs warm (`serve_cache`), and streaming machine ingest with
+//! tail-shard splitting (`db_ingest`).
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_scaled_database, bench_sharded_database, bench_task};
+use datatrans_core::cache::ResultCache;
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
-use datatrans_core::serve::{serve_batch, ServeConfig};
-use datatrans_dataset::generator::{generate, generate_scaled, DatasetConfig, ScaleConfig};
+use datatrans_core::serve::{serve_batch, serve_batch_cached, ServeConfig};
+use datatrans_dataset::generator::{
+    generate, generate_scaled, synthesize_ingest, DatasetConfig, ScaleConfig,
+};
 use datatrans_dataset::machine::ProcessorFamily;
 use datatrans_dataset::sharded::ShardedPerfDatabase;
 use datatrans_dataset::view::DatabaseView;
@@ -663,6 +668,87 @@ fn bench_query_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving-path result cache on the same synthetic mix as
+/// `query_batch`: a cold batch (fresh cache, every request evaluated,
+/// every response inserted) against a warm batch (pre-warmed cache, every
+/// request answered from storage). The warm/cold gap is the evaluation
+/// work the cache elides; CI's trajectory gate asserts warm < cold in the
+/// same run (`bench_diff --require-faster`).
+fn bench_serve_cache(c: &mut Criterion) {
+    let dense = bench_database();
+    let sharded = bench_sharded_database_117(&dense);
+    let (requests, _labels) = synth_requests(&dense, 16, 5, 42);
+    let cfg = ServeConfig {
+        parallelism: Parallelism::Sequential,
+        ..ServeConfig::quick()
+    };
+
+    let mut group = c.benchmark_group("serve_cache");
+    group.sample_size(10);
+    group.bench_function("cold_mixed16_sharded8", |bch| {
+        bch.iter(|| {
+            let mut cache = ResultCache::new(64);
+            let batch = serve_batch_cached(&sharded, &requests, &cfg, &mut cache).expect("serves");
+            std::hint::black_box(batch.misses)
+        })
+    });
+    group.bench_function("warm_mixed16_sharded8", |bch| {
+        let mut cache = ResultCache::new(64);
+        serve_batch_cached(&sharded, &requests, &cfg, &mut cache).expect("warms");
+        bch.iter(|| {
+            let batch = serve_batch_cached(&sharded, &requests, &cfg, &mut cache).expect("serves");
+            std::hint::black_box(batch.hits)
+        })
+    });
+    group.finish();
+}
+
+/// Streaming ingest on the 1k-machine catalog: appending a 64-machine
+/// batch to the dense matrix and to the 8-shard backing (tail-shard
+/// rebuild + in-place stats), plus the variant whose tail crosses the
+/// split threshold and rebalances into new shards. Each iteration clones
+/// the catalog first (ingest mutates); `clone_baseline` prices that clone
+/// so the push cost can be read as the difference.
+fn bench_db_ingest(c: &mut Criterion) {
+    let dense = bench_scaled_database();
+    let sharded = bench_sharded_database(&dense);
+    // 8 shards over 1k machines: tail width 125. The split variant's
+    // threshold of 150 makes the 64-machine push (125 + 64 = 189) split.
+    let splitting = ShardedPerfDatabase::from_dense(&dense, 8)
+        .expect("8 shards")
+        .with_split_width(150)
+        .expect("valid threshold");
+    let batch = synthesize_ingest(0xD1CE, dense.benchmarks(), 64, 0.015).expect("ingest batch");
+
+    let mut group = c.benchmark_group("db_ingest");
+    group.sample_size(30);
+    group.bench_function("clone_baseline_sharded8_1k", |bch| {
+        bch.iter(|| std::hint::black_box(sharded.clone().n_machines()))
+    });
+    group.bench_function("push64_sharded8_1k", |bch| {
+        bch.iter(|| {
+            let mut db = sharded.clone();
+            db.push_machines(&batch).expect("pushes");
+            std::hint::black_box(db.n_machines())
+        })
+    });
+    group.bench_function("push64_split_sharded8_1k", |bch| {
+        bch.iter(|| {
+            let mut db = splitting.clone();
+            db.push_machines(&batch).expect("pushes");
+            std::hint::black_box(db.n_shards())
+        })
+    });
+    group.bench_function("push64_dense_1k", |bch| {
+        bch.iter(|| {
+            let mut db = dense.clone();
+            db.push_machines(&batch).expect("pushes");
+            std::hint::black_box(db.n_machines())
+        })
+    });
+    group.finish();
+}
+
 /// The paper-sized (29 × 117) database partitioned 8 ways, for the
 /// serving benches (the 1k fixture would drown the planner in model
 /// time).
@@ -688,6 +774,8 @@ criterion_group!(
     bench_db_query,
     bench_db_shard_scan,
     bench_db_gather_par,
-    bench_query_batch
+    bench_query_batch,
+    bench_serve_cache,
+    bench_db_ingest
 );
 criterion_main!(benches);

@@ -38,10 +38,12 @@ use datatrans_bench::harness::{parse_report, BenchRecord};
 const DEFAULT_THRESHOLD: f64 = 0.25;
 /// Default watched groups: the GA-kNN fitness kernel, top-k selection,
 /// the unrolled-kernel and tiled-builder comparisons, the database layer's
-/// scale queries and shard scans, and the serving layer's pool-fanned
-/// gathers and batched ranking queries.
+/// scale queries, shard scans, and streaming ingest, and the serving
+/// layer's pool-fanned gathers, batched ranking queries, and result
+/// cache.
 const DEFAULT_GROUPS: &str = "ga_fitness,knn_topk,gemv_unrolled,sqdiff_tiled,scale_fused,\
-                              db_query,db_shard_scan,db_gather_par,query_batch";
+                              db_query,db_shard_scan,db_gather_par,query_batch,\
+                              serve_cache,db_ingest";
 
 struct Args {
     baseline: String,

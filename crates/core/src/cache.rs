@@ -1,0 +1,259 @@
+//! A bounded, versioned result cache for the serving path.
+//!
+//! [`ResultCache`] memoizes [`RankResponse`]s keyed by
+//! `(request fingerprint, catalog version)`: a hit returns a clone of a
+//! previously computed response, a miss falls through to evaluation, and a
+//! moved catalog version drops every resident entry (a ranking computed
+//! against an older catalog must never be served after an ingest — the
+//! candidate set itself may have changed).
+//!
+//! The cache is a pure memoization layer: a hit is **bitwise-identical**
+//! to re-evaluating the request cold, because responses are stored
+//! verbatim and every response is a deterministic function of
+//! `(request, catalog)`. `tests/ingest_cache.rs` pins that identity across
+//! thread counts, backings, and batch orderings.
+//!
+//! Capacity is bounded with least-recently-used eviction. Eviction scans
+//! for the oldest entry in O(capacity) — capacities on the serving path
+//! are tens to thousands of entries, where a linear scan over a flat map
+//! beats maintaining an intrusive recency list.
+
+use std::collections::HashMap;
+
+use crate::fingerprint::RequestFingerprint;
+use crate::serve::{RankRequest, RankResponse};
+
+/// Cumulative cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Entries dropped because the catalog version moved.
+    pub invalidations: u64,
+}
+
+/// One resident entry: the full request (collision guard) plus its
+/// response and recency stamp.
+#[derive(Debug, Clone)]
+struct Entry {
+    request: RankRequest,
+    response: RankResponse,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of ranking responses, invalidated wholesale when
+/// the catalog version moves.
+///
+/// All resident entries were computed against one catalog version (the
+/// last one [`ResultCache::sync_version`] saw): ingest bumps the version,
+/// the next sync drops everything, so a stale ranking can never be served.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    capacity: usize,
+    /// Catalog version the resident entries were computed against
+    /// (`None` until the first sync).
+    version: Option<u64>,
+    entries: HashMap<u64, Entry>,
+    /// Monotonic recency clock, bumped on every lookup and insert.
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` responses (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            version: None,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of resident responses.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident responses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no responses.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Aligns the cache with the catalog version it is serving against,
+    /// dropping every resident entry if the version moved. Returns the
+    /// number of entries dropped (also added to
+    /// [`CacheStats::invalidations`]).
+    ///
+    /// Call this before looking anything up for a batch — the serving
+    /// entry point does ([`crate::serve::serve_batch_cached`]).
+    pub fn sync_version(&mut self, version: u64) -> u64 {
+        if self.version == Some(version) {
+            return 0;
+        }
+        let dropped = self.entries.len() as u64;
+        self.entries.clear();
+        self.stats.invalidations += dropped;
+        self.version = Some(version);
+        dropped
+    }
+
+    /// Looks up a fingerprint, returning a clone of the stored response on
+    /// a hit and recording the hit or miss in the counters.
+    ///
+    /// On a hit the full stored request is debug-asserted equal to
+    /// `request`: a 64-bit fingerprint collision between distinct requests
+    /// is astronomically unlikely but not impossible, and this guard turns
+    /// one into a loud test failure instead of a silently wrong response
+    /// in debug builds (test suites and CI run them).
+    pub fn lookup(
+        &mut self,
+        fingerprint: RequestFingerprint,
+        request: &RankRequest,
+    ) -> Option<RankResponse> {
+        self.tick += 1;
+        match self.entries.get_mut(&fingerprint.as_u64()) {
+            Some(entry) => {
+                debug_assert!(
+                    entry.request == *request,
+                    "fingerprint collision: distinct requests share {fingerprint:?}"
+                );
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.response.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed response, evicting the least-recently-
+    /// used entry if the cache is full and the fingerprint is new.
+    pub fn insert(
+        &mut self,
+        fingerprint: RequestFingerprint,
+        request: &RankRequest,
+        response: &RankResponse,
+    ) {
+        let key = fingerprint.as_u64();
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                request: request.clone(),
+                response: response.clone(),
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{AppOfInterest, ModelKind, RankedMachine};
+    use datatrans_dataset::query::MachineFilter;
+
+    fn request(seed: u64) -> RankRequest {
+        RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0],
+            restrict: MachineFilter::all(),
+            top_k: None,
+            seed,
+        }
+    }
+
+    fn response(score: f64) -> RankResponse {
+        RankResponse {
+            method: "NN^T",
+            ranked: vec![RankedMachine {
+                machine: 1,
+                predicted_score: score,
+            }],
+            candidates: 1,
+            shards_scanned: 1,
+            shards_pruned: 0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_stored_response_and_counts() {
+        let mut cache = ResultCache::new(4);
+        cache.sync_version(0);
+        let req = request(1);
+        let fp = RequestFingerprint::of(&req);
+        assert!(cache.lookup(fp, &req).is_none());
+        cache.insert(fp, &req, &response(2.0));
+        assert_eq!(cache.lookup(fp, &req), Some(response(2.0)));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_lru_eviction() {
+        let mut cache = ResultCache::new(2);
+        cache.sync_version(0);
+        let requests: Vec<RankRequest> = (0..3).map(request).collect();
+        let fps: Vec<RequestFingerprint> = requests.iter().map(RequestFingerprint::of).collect();
+        cache.insert(fps[0], &requests[0], &response(0.0));
+        cache.insert(fps[1], &requests[1], &response(1.0));
+        // Touch 0 so 1 is the LRU entry, then insert 2.
+        assert!(cache.lookup(fps[0], &requests[0]).is_some());
+        cache.insert(fps[2], &requests[2], &response(2.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(fps[0], &requests[0]).is_some());
+        assert!(cache.lookup(fps[1], &requests[1]).is_none(), "1 evicted");
+        assert!(cache.lookup(fps[2], &requests[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let cache = ResultCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn version_move_drops_everything_and_counts() {
+        let mut cache = ResultCache::new(4);
+        assert_eq!(cache.sync_version(0), 0, "first sync adopts the version");
+        let req = request(1);
+        let fp = RequestFingerprint::of(&req);
+        cache.insert(fp, &req, &response(2.0));
+        assert_eq!(cache.sync_version(0), 0, "same version keeps entries");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.sync_version(1), 1, "moved version drops entries");
+        assert!(cache.is_empty());
+        assert!(cache.lookup(fp, &req).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+}

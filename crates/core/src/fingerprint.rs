@@ -1,0 +1,268 @@
+//! Deterministic 64-bit fingerprints of ranking requests.
+//!
+//! The serving-path result cache (see [`crate::cache`]) keys entries on
+//! `(fingerprint, catalog version)`. The fingerprint must therefore be a
+//! **stable, platform-independent** function of the request's semantic
+//! content — which rules out `std::collections::hash_map::DefaultHasher`
+//! (its algorithm and keys are explicitly unspecified and may change
+//! between releases). Instead, every field of a [`RankRequest`] is folded
+//! into a splitmix64-style mixer in a fixed, tagged order:
+//!
+//! * each field is prefixed with a distinct tag constant, so permuting
+//!   field values can never collide with the original request;
+//! * variable-length lists (predictive machines, subset restrictions) are
+//!   length-prefixed, so list boundaries cannot be confused;
+//! * `Option` clauses absorb a presence bit before the payload, so
+//!   "no bound" and "bound = 0" hash differently;
+//! * `f64` values are absorbed as their IEEE-754 bit patterns
+//!   ([`f64::to_bits`]), so the fingerprint distinguishes exactly the
+//!   values the evaluation distinguishes.
+//!
+//! The fingerprint is a 64-bit digest, not an injection: distinct requests
+//! can collide in principle. The cache guards against that by
+//! debug-asserting full request equality on every hit — a collision can
+//! only ever cost a missed hit in release builds if the cache chooses to
+//! treat it conservatively, never a wrong response (see
+//! [`crate::cache::ResultCache::lookup`]). Likewise, a subset restriction
+//! is hashed in its stored order (order and duplicates do not change the
+//! plan), so two semantically equal filters with reordered subsets hash
+//! differently: a missed hit, never a wrong one.
+
+use crate::serve::{AppOfInterest, RankRequest};
+
+/// splitmix64's odd increment (the 64-bit golden ratio).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 finalizer: a well-mixed bijection on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Running digest: absorbs one `u64` at a time through the splitmix64
+/// finalizer, so every absorbed word diffuses into all 64 state bits
+/// before the next arrives.
+struct Mixer(u64);
+
+impl Mixer {
+    /// Fresh digest state (the first 64 fractional bits of π, so the empty
+    /// digest is not zero).
+    fn new() -> Self {
+        Mixer(0x243F_6A88_85A3_08D3)
+    }
+
+    fn absorb(&mut self, v: u64) {
+        self.0 = mix64(self.0 ^ v);
+    }
+
+    fn absorb_option(&mut self, v: Option<u64>) {
+        match v {
+            None => self.absorb(0),
+            Some(v) => {
+                self.absorb(1);
+                self.absorb(v);
+            }
+        }
+    }
+
+    fn absorb_list(&mut self, items: impl ExactSizeIterator<Item = u64>) {
+        self.absorb(items.len() as u64);
+        for item in items {
+            self.absorb(item);
+        }
+    }
+}
+
+/// Per-field domain-separation tags (arbitrary distinct constants).
+const TAG_APP: u64 = 0xA1;
+const TAG_MODEL: u64 = 0xA2;
+const TAG_PREDICTIVE: u64 = 0xA3;
+const TAG_RESTRICT: u64 = 0xA4;
+const TAG_TOP_K: u64 = 0xA5;
+const TAG_SEED: u64 = 0xA6;
+
+/// A stable 64-bit digest of a [`RankRequest`]'s semantic content.
+///
+/// Equal requests always produce equal fingerprints; distinct requests
+/// produce distinct fingerprints up to 64-bit collisions (see the module
+/// docs for the collision policy). The digest is pinned by golden values
+/// in `tests/ingest_cache.rs`, so it cannot drift silently between
+/// releases — drift would orphan any externally persisted cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestFingerprint(u64);
+
+impl RequestFingerprint {
+    /// Fingerprints a request by folding every field through the mixer in
+    /// a fixed, tagged order.
+    pub fn of(request: &RankRequest) -> Self {
+        let mut mixer = Mixer::new();
+        mixer.absorb(TAG_APP);
+        match &request.app {
+            AppOfInterest::Suite(row) => {
+                mixer.absorb(0);
+                mixer.absorb(*row as u64);
+            }
+            AppOfInterest::External(w) => {
+                mixer.absorb(1);
+                // The workload's 12 profiled dimensions, in declared order.
+                for v in [
+                    w.instr_e9,
+                    w.ilp,
+                    w.fp_fraction,
+                    w.mem_fraction,
+                    w.branch_fraction,
+                    w.mispredict_rate,
+                    w.working_set_mib,
+                    w.stream_fraction,
+                    w.locality_alpha,
+                    w.bandwidth_demand,
+                    w.mlp,
+                    w.regularity,
+                ] {
+                    mixer.absorb(v.to_bits());
+                }
+            }
+        }
+        mixer.absorb(TAG_MODEL);
+        mixer.absorb(request.model as u64);
+        mixer.absorb(TAG_PREDICTIVE);
+        mixer.absorb_list(request.predictive.iter().map(|&m| m as u64));
+        mixer.absorb(TAG_RESTRICT);
+        let r = &request.restrict;
+        mixer.absorb_option(r.family.map(|f| f as u64));
+        mixer.absorb_option(r.year_min.map(u64::from));
+        mixer.absorb_option(r.year_max.map(u64::from));
+        match r.min_score {
+            None => mixer.absorb(0),
+            Some((b, t)) => {
+                mixer.absorb(1);
+                mixer.absorb(b as u64);
+                mixer.absorb(t.to_bits());
+            }
+        }
+        match &r.subset {
+            None => mixer.absorb(0),
+            Some(subset) => {
+                mixer.absorb(1);
+                mixer.absorb_list(subset.iter().map(|&m| m as u64));
+            }
+        }
+        mixer.absorb(TAG_TOP_K);
+        mixer.absorb_option(request.top_k.map(|k| k as u64));
+        mixer.absorb(TAG_SEED);
+        mixer.absorb(request.seed);
+        RequestFingerprint(mixer.0)
+    }
+
+    /// The digest as a raw `u64` (cache key material).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ModelKind;
+    use datatrans_dataset::machine::ProcessorFamily;
+    use datatrans_dataset::query::MachineFilter;
+    use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
+
+    fn base_request() -> RankRequest {
+        RankRequest {
+            app: AppOfInterest::Suite(3),
+            model: ModelKind::NnT,
+            predictive: vec![0, 30, 60],
+            restrict: MachineFilter::family(ProcessorFamily::Xeon),
+            top_k: Some(5),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn equal_requests_hash_equal() {
+        assert_eq!(
+            RequestFingerprint::of(&base_request()),
+            RequestFingerprint::of(&base_request())
+        );
+    }
+
+    #[test]
+    fn every_field_is_load_bearing() {
+        let base = RequestFingerprint::of(&base_request());
+        let variants = [
+            RankRequest {
+                app: AppOfInterest::Suite(4),
+                ..base_request()
+            },
+            RankRequest {
+                app: AppOfInterest::External(synthesize(WorkloadProfile::Scientific, 3)),
+                ..base_request()
+            },
+            RankRequest {
+                model: ModelKind::MlpT,
+                ..base_request()
+            },
+            RankRequest {
+                predictive: vec![0, 30],
+                ..base_request()
+            },
+            RankRequest {
+                restrict: MachineFilter::family(ProcessorFamily::OpteronK10),
+                ..base_request()
+            },
+            RankRequest {
+                restrict: MachineFilter::all(),
+                ..base_request()
+            },
+            RankRequest {
+                top_k: Some(6),
+                ..base_request()
+            },
+            RankRequest {
+                top_k: None,
+                ..base_request()
+            },
+            RankRequest {
+                seed: 8,
+                ..base_request()
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, RequestFingerprint::of(v), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn absent_and_zero_bounds_differ() {
+        let none = RankRequest {
+            restrict: MachineFilter::all(),
+            ..base_request()
+        };
+        let zero = RankRequest {
+            restrict: MachineFilter {
+                year_min: Some(0),
+                ..MachineFilter::all()
+            },
+            ..base_request()
+        };
+        assert_ne!(RequestFingerprint::of(&none), RequestFingerprint::of(&zero));
+    }
+
+    #[test]
+    fn list_boundaries_are_unambiguous() {
+        let a = RankRequest {
+            predictive: vec![1, 2],
+            restrict: MachineFilter::all().with_subset(vec![3]),
+            ..base_request()
+        };
+        let b = RankRequest {
+            predictive: vec![1],
+            restrict: MachineFilter::all().with_subset(vec![2, 3]),
+            ..base_request()
+        };
+        assert_ne!(RequestFingerprint::of(&a), RequestFingerprint::of(&b));
+    }
+}

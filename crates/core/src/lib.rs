@@ -26,6 +26,11 @@
 //! * [`serve`] — the batched ranking-query front end: plan (with shard
 //!   pruning) → gather → predict → rank, many requests per pool pass,
 //!   bitwise-identical at any thread count and on either backing.
+//! * [`fingerprint`] — stable splitmix64-based 64-bit digests of ranking
+//!   requests, the key material of the serving-path result cache.
+//! * [`cache`] — the bounded, versioned LRU result cache: hits are
+//!   bitwise-identical to cold evaluation, and a moved catalog version
+//!   (streaming ingest) drops every stale entry.
 //!
 //! # Example: rank machines for a held-out benchmark
 //!
@@ -57,7 +62,9 @@ mod error;
 
 pub mod analysis;
 pub mod apps;
+pub mod cache;
 pub mod eval;
+pub mod fingerprint;
 pub mod model;
 pub mod ranking;
 pub mod select;

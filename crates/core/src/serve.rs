@@ -31,6 +31,8 @@ use datatrans_ml::ga::GaConfig;
 use datatrans_ml::mlp::MlpConfig;
 use datatrans_parallel::Parallelism;
 
+use crate::cache::ResultCache;
+use crate::fingerprint::RequestFingerprint;
 use crate::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use crate::ranking::Ranking;
 use crate::task::PredictionTask;
@@ -63,7 +65,7 @@ impl ModelKind {
 }
 
 /// The application a request ranks machines for.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AppOfInterest {
     /// A suite benchmark by row index, evaluated leave-one-out: its row is
     /// withheld from training, exactly like the paper's evaluation cells.
@@ -74,7 +76,7 @@ pub enum AppOfInterest {
 }
 
 /// One ranking query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankRequest {
     /// The application of interest.
     pub app: AppOfInterest,
@@ -297,6 +299,77 @@ pub fn serve_batch<D: DatabaseView + ?Sized>(
     results.into_iter().collect()
 }
 
+/// The answer to one cached batch: responses in request order plus what
+/// the cache did for this batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedBatch {
+    /// Responses, in request order.
+    pub responses: Vec<RankResponse>,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that fell through to evaluation.
+    pub misses: u64,
+    /// Entries dropped because the catalog version moved since the cache
+    /// last served.
+    pub invalidations: u64,
+}
+
+/// Serves a batch through a [`ResultCache`]: syncs the cache with the
+/// view's catalog version (dropping stale entries), answers hits from the
+/// cache, and evaluates the remaining misses through [`serve_batch`] —
+/// the same pooled path a cold batch takes — inserting each fresh
+/// response before returning.
+///
+/// A hit is **bitwise-identical** to evaluating the request cold:
+/// responses are stored verbatim, and every response is a deterministic
+/// function of `(request, catalog)` alone — independent of thread count,
+/// backing, and batch composition. Duplicate requests that miss within
+/// one batch are each evaluated (they produce identical responses, so the
+/// last insert wins and nothing changes); the first hit is only possible
+/// on the *next* batch.
+///
+/// # Errors
+///
+/// Same conditions as [`serve_batch`]. On error the cache keeps its
+/// resident entries but no response from the failing batch is inserted.
+pub fn serve_batch_cached<D: DatabaseView + ?Sized>(
+    db: &D,
+    requests: &[RankRequest],
+    config: &ServeConfig,
+    cache: &mut ResultCache,
+) -> Result<CachedBatch> {
+    let invalidations = cache.sync_version(db.catalog_version());
+    let fingerprints: Vec<RequestFingerprint> =
+        requests.iter().map(RequestFingerprint::of).collect();
+    let mut slots: Vec<Option<RankResponse>> = Vec::with_capacity(requests.len());
+    let mut miss_indices = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        let cached = cache.lookup(fingerprints[i], request);
+        if cached.is_none() {
+            miss_indices.push(i);
+        }
+        slots.push(cached);
+    }
+    let hits = (requests.len() - miss_indices.len()) as u64;
+    let misses = miss_indices.len() as u64;
+    let miss_requests: Vec<RankRequest> =
+        miss_indices.iter().map(|&i| requests[i].clone()).collect();
+    let fresh = serve_batch(db, &miss_requests, config)?;
+    for (&i, response) in miss_indices.iter().zip(&fresh) {
+        cache.insert(fingerprints[i], &requests[i], response);
+        slots[i] = Some(response.clone());
+    }
+    Ok(CachedBatch {
+        responses: slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot is a hit or a filled miss"))
+            .collect(),
+        hits,
+        misses,
+        invalidations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +535,56 @@ mod tests {
             sharded_response.shards_scanned + sharded_response.shards_pruned,
             8
         );
+    }
+
+    #[test]
+    fn cached_batch_hits_are_bitwise_identical_to_cold() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let requests: Vec<RankRequest> = (0..3)
+            .map(|i| RankRequest {
+                app: AppOfInterest::Suite(i),
+                model: ModelKind::NnT,
+                predictive: vec![0, 30, 60],
+                restrict: MachineFilter::all(),
+                top_k: Some(4),
+                seed: i as u64,
+            })
+            .collect();
+        let cold = serve_batch(&db, &requests, &quick()).unwrap();
+        let mut cache = crate::cache::ResultCache::new(8);
+        let first = serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        assert_eq!(first.responses, cold);
+        assert_eq!((first.hits, first.misses), (0, 3));
+        let second = serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        assert_eq!(second.responses, cold);
+        assert_eq!((second.hits, second.misses), (3, 0));
+        for (a, b) in cold.iter().zip(&second.responses) {
+            for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                assert_eq!(x.predicted_score.to_bits(), y.predicted_score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_batch_invalidates_on_catalog_version_move() {
+        use datatrans_dataset::generator::synthesize_ingest;
+        let mut db = generate(&DatasetConfig::default()).unwrap();
+        let requests = vec![RankRequest {
+            app: AppOfInterest::Suite(0),
+            model: ModelKind::NnT,
+            predictive: vec![0, 30, 60],
+            restrict: MachineFilter::all(),
+            top_k: Some(4),
+            seed: 1,
+        }];
+        let mut cache = crate::cache::ResultCache::new(8);
+        serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        let batch = synthesize_ingest(3, db.benchmarks(), 2, 0.015).unwrap();
+        db.push_machines(&batch).unwrap();
+        let after = serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        assert_eq!((after.hits, after.misses, after.invalidations), (0, 1, 1));
+        // The unrestricted candidate set grew with the catalog.
+        assert_eq!(after.responses[0].candidates, 117 + 2 - 3);
     }
 
     #[test]

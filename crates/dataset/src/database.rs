@@ -8,6 +8,39 @@ use crate::machine::{Machine, ProcessorFamily};
 use crate::view::{DatabaseView, DbReader, RowSegment};
 use crate::{DatasetError, Result};
 
+/// One machine to append to a database: metadata plus its score column.
+///
+/// `scores[b]` is the machine's score on benchmark row `b` — exactly the
+/// machine column the database will store, in benchmark row order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineIngest {
+    /// The machine's catalog metadata.
+    pub machine: Machine,
+    /// One score per benchmark, in benchmark row order.
+    pub scores: Vec<f64>,
+}
+
+/// Validates an ingest batch against a database's benchmark count: every
+/// entry must score exactly `n_benchmarks` rows, with finite positive
+/// values (the same invariant [`PerfDatabase::new`] enforces).
+pub(crate) fn validate_ingest(batch: &[MachineIngest], n_benchmarks: usize) -> Result<()> {
+    for entry in batch {
+        if entry.scores.len() != n_benchmarks {
+            return Err(DatasetError::BenchmarkCountMismatch {
+                expected: n_benchmarks,
+                got: entry.scores.len(),
+            });
+        }
+        if entry.scores.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(DatasetError::InvalidConfig {
+                name: "scores",
+                value: "must be finite and positive".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// A complete performance database.
 ///
 /// Scores are SPEC-style speed ratios (higher is better), stored as a dense
@@ -15,12 +48,20 @@ use crate::{DatasetError, Result};
 /// matching the paper's Figure 2 orientation. Accessors expose the matrix
 /// and zero-copy row/column views so consumers can read either
 /// benchmark-major or machine-major without materializing copies.
+///
+/// The database carries a monotonically increasing **catalog version**,
+/// bumped by every non-empty [`PerfDatabase::push_machines`] ingest; the
+/// serving layer's result cache keys on it so stale cached rankings can
+/// never be served after the catalog changes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfDatabase {
     benchmarks: Vec<Benchmark>,
     machines: Vec<Machine>,
     /// `benchmarks × machines` score matrix.
     scores: Matrix,
+    /// Ingest counter: 0 for a freshly built catalog, +1 per non-empty
+    /// [`PerfDatabase::push_machines`] call.
+    catalog_version: u64,
 }
 
 impl PerfDatabase {
@@ -64,7 +105,57 @@ impl PerfDatabase {
             benchmarks,
             machines,
             scores,
+            catalog_version: 0,
         })
+    }
+
+    /// The catalog version: 0 for a freshly built database, incremented by
+    /// every non-empty [`PerfDatabase::push_machines`] call. Monotonically
+    /// increasing, so `(request fingerprint, catalog version)` uniquely
+    /// identifies a serving result against this catalog's history.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// Overrides the catalog version (crate-internal: lets
+    /// [`crate::sharded::ShardedPerfDatabase::to_dense`] propagate the
+    /// sharded backing's ingest history into the reassembled dense copy).
+    pub(crate) fn set_catalog_version(&mut self, version: u64) {
+        self.catalog_version = version;
+    }
+
+    /// Appends machines (columns) to the database, bumping the catalog
+    /// version.
+    ///
+    /// An empty batch is a no-op and does **not** bump the version — it
+    /// changes nothing, so it must not invalidate cached results. Scores
+    /// are stored verbatim, so a catalog built incrementally through this
+    /// method is bitwise-identical to the same catalog built at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BenchmarkCountMismatch`] if an entry's score
+    /// column does not cover every benchmark row, and
+    /// [`DatasetError::InvalidConfig`] if any score is not finite and
+    /// positive. On error the database is unchanged.
+    pub fn push_machines(&mut self, batch: &[MachineIngest]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let n_benchmarks = self.benchmarks.len();
+        validate_ingest(batch, n_benchmarks)?;
+        let new_cols = self.machines.len() + batch.len();
+        let mut data = Vec::with_capacity(n_benchmarks * new_cols);
+        for b in 0..n_benchmarks {
+            data.extend_from_slice(self.scores.row(b));
+            data.extend(batch.iter().map(|entry| entry.scores[b]));
+        }
+        self.scores = Matrix::from_vec(n_benchmarks, new_cols, data)
+            .expect("appended matrix has exactly benchmarks × machines entries");
+        self.machines
+            .extend(batch.iter().map(|e| e.machine.clone()));
+        self.catalog_version += 1;
+        Ok(())
     }
 
     /// Number of benchmarks (rows).
@@ -227,6 +318,10 @@ impl DatabaseView for PerfDatabase {
         self.scores.select(benchmarks, machines)
     }
 
+    fn catalog_version(&self) -> u64 {
+        PerfDatabase::catalog_version(self)
+    }
+
     fn reader(&self) -> DbReader<'_> {
         DbReader::Dense(self)
     }
@@ -345,6 +440,67 @@ mod tests {
         // either.
         let db = db();
         assert!(PerfDatabase::new(Vec::new(), db.machines().to_vec(), vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn push_appends_columns_bitwise_and_bumps_version() {
+        let mut grown = db();
+        let reference = db();
+        assert_eq!(grown.catalog_version(), 0);
+        let batch: Vec<MachineIngest> = (0..3)
+            .map(|i| MachineIngest {
+                machine: reference.machines()[i].clone(),
+                scores: (0..29).map(|b| reference.score(b, i)).collect(),
+            })
+            .collect();
+        grown.push_machines(&batch).unwrap();
+        assert_eq!(grown.n_machines(), 120);
+        assert_eq!(grown.catalog_version(), 1);
+        // Existing columns untouched, new columns read back bitwise.
+        for b in 0..29 {
+            for m in 0..117 {
+                assert_eq!(grown.score(b, m).to_bits(), reference.score(b, m).to_bits());
+            }
+            for (i, entry) in batch.iter().enumerate() {
+                assert_eq!(grown.score(b, 117 + i).to_bits(), entry.scores[b].to_bits());
+            }
+        }
+        grown.push_machines(&batch[..1]).unwrap();
+        assert_eq!(grown.catalog_version(), 2);
+    }
+
+    #[test]
+    fn empty_push_is_a_noop_without_version_bump() {
+        let mut grown = db();
+        let before = grown.clone();
+        grown.push_machines(&[]).unwrap();
+        assert_eq!(grown, before);
+        assert_eq!(grown.catalog_version(), 0);
+    }
+
+    #[test]
+    fn push_rejects_mismatched_and_invalid_scores() {
+        let mut grown = db();
+        let before = grown.clone();
+        let machine = grown.machines()[0].clone();
+        assert_eq!(
+            grown.push_machines(&[MachineIngest {
+                machine: machine.clone(),
+                scores: vec![1.0; 28],
+            }]),
+            Err(DatasetError::BenchmarkCountMismatch {
+                expected: 29,
+                got: 28
+            })
+        );
+        assert!(matches!(
+            grown.push_machines(&[MachineIngest {
+                machine,
+                scores: vec![-1.0; 29],
+            }]),
+            Err(DatasetError::InvalidConfig { name: "scores", .. })
+        ));
+        assert_eq!(grown, before, "failed pushes must leave the db unchanged");
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum DatasetError {
         /// What was empty.
         what: &'static str,
     },
+    /// An ingest entry's score column did not match the database's
+    /// benchmark count (a pushed machine must score every benchmark row).
+    BenchmarkCountMismatch {
+        /// The database's benchmark count.
+        expected: usize,
+        /// The offending entry's score count.
+        got: usize,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -50,6 +58,12 @@ impl fmt::Display for DatasetError {
             }
             DatasetError::Empty { what } => {
                 write!(f, "{what} must not be empty")
+            }
+            DatasetError::BenchmarkCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "ingest entry scores {got} benchmarks, database has {expected}"
+                )
             }
         }
     }
@@ -76,6 +90,12 @@ mod tests {
         }
         .to_string()
         .contains("foo"));
+        let mismatch = DatasetError::BenchmarkCountMismatch {
+            expected: 29,
+            got: 28,
+        };
+        assert!(mismatch.to_string().contains("29"));
+        assert!(mismatch.to_string().contains("28"));
     }
 
     #[test]

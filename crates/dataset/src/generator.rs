@@ -5,7 +5,7 @@ use datatrans_rng::{Rng, SeedableRng};
 
 use crate::benchmark::{spec_cpu2006, Benchmark};
 use crate::catalog::{build_machines, build_scaled_machines};
-use crate::database::PerfDatabase;
+use crate::database::{MachineIngest, PerfDatabase};
 use crate::machine::Machine;
 use crate::perf_model::spec_ratio;
 use crate::{DatasetError, Result};
@@ -38,7 +38,7 @@ impl DatasetConfig {
     /// Returns [`DatasetError::InvalidConfig`] if `noise_sigma` is negative
     /// or not finite.
     pub fn validate(&self) -> Result<()> {
-        if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 || self.noise_sigma > 0.5 {
+        if !self.noise_sigma.is_finite() || !(0.0..=0.5).contains(&self.noise_sigma) {
             return Err(DatasetError::InvalidConfig {
                 name: "noise_sigma",
                 value: self.noise_sigma.to_string(),
@@ -146,7 +146,7 @@ impl ScaleConfig {
     /// Returns [`DatasetError::InvalidConfig`] if `noise_sigma` is outside
     /// `[0, 0.5]` or either dimension is zero.
     pub fn validate(&self) -> Result<()> {
-        if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 || self.noise_sigma > 0.5 {
+        if !self.noise_sigma.is_finite() || !(0.0..=0.5).contains(&self.noise_sigma) {
             return Err(DatasetError::InvalidConfig {
                 name: "noise_sigma",
                 value: self.noise_sigma.to_string(),
@@ -199,6 +199,72 @@ pub fn generate_scaled(config: &ScaleConfig) -> Result<PerfDatabase> {
     let benchmarks = crate::workload_synth::synthesize_suite(config.n_benchmarks, config.seed);
     let machines = build_scaled_machines(config.seed, config.n_machines);
     score_catalog(benchmarks, machines, config.seed, config.noise_sigma)
+}
+
+/// Synthesizes a streaming-ingest batch of `n_machines` scored machines
+/// against an existing benchmark suite — the feed for
+/// [`PerfDatabase::push_machines`] and
+/// [`crate::sharded::ShardedPerfDatabase::push_machines`].
+///
+/// Same scoring pipeline as the generators (scale catalog templates,
+/// CPI-stack model, multiplicative lognormal noise), but each entry's
+/// scores come from an RNG seeded by `(seed, entry index)`, so entry `i` is
+/// **independent of how the batch is split**: pushing entries one at a
+/// time, in chunks, or all at once yields bitwise-identical catalogs.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Empty`] if `benchmarks` is empty, or
+/// [`DatasetError::InvalidConfig`] if `noise_sigma` is outside `[0, 0.5]`.
+///
+/// # Example
+///
+/// ```
+/// use datatrans_dataset::generator::{generate, synthesize_ingest, DatasetConfig};
+///
+/// # fn main() -> Result<(), datatrans_dataset::DatasetError> {
+/// let mut db = generate(&DatasetConfig::default())?;
+/// let batch = synthesize_ingest(7, db.benchmarks(), 4, 0.015)?;
+/// db.push_machines(&batch)?;
+/// assert_eq!(db.n_machines(), 121);
+/// assert_eq!(db.catalog_version(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_ingest(
+    seed: u64,
+    benchmarks: &[Benchmark],
+    n_machines: usize,
+    noise_sigma: f64,
+) -> Result<Vec<MachineIngest>> {
+    if !noise_sigma.is_finite() || !(0.0..=0.5).contains(&noise_sigma) {
+        return Err(DatasetError::InvalidConfig {
+            name: "noise_sigma",
+            value: noise_sigma.to_string(),
+        });
+    }
+    if benchmarks.is_empty() {
+        return Err(DatasetError::Empty { what: "benchmarks" });
+    }
+    let machines = build_scaled_machines(seed ^ 0x1A6E_57ED, n_machines);
+    Ok(machines
+        .into_iter()
+        .enumerate()
+        .map(|(i, machine)| {
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_mul(0xA24B_AED4_963E_E407)
+                    .wrapping_add(i as u64),
+            );
+            let scores = benchmarks
+                .iter()
+                .map(|b| {
+                    spec_ratio(&machine.micro, &b.characteristics)
+                        * (noise_sigma * gaussian(&mut rng)).exp()
+                })
+                .collect();
+            MachineIngest { machine, scores }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -316,6 +382,35 @@ mod tests {
             ..ScaleConfig::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn ingest_entries_are_independent_of_batch_splits() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let whole = synthesize_ingest(9, db.benchmarks(), 6, 0.015).unwrap();
+        // Same seed, shorter batch: a prefix must be bitwise-identical.
+        let prefix = synthesize_ingest(9, db.benchmarks(), 3, 0.015).unwrap();
+        assert_eq!(&whole[..3], &prefix[..]);
+        for entry in &whole {
+            assert_eq!(entry.scores.len(), 29);
+            assert!(entry.scores.iter().all(|s| s.is_finite() && *s > 0.0));
+        }
+    }
+
+    #[test]
+    fn ingest_validates_inputs() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        assert!(matches!(
+            synthesize_ingest(1, db.benchmarks(), 2, 0.9),
+            Err(DatasetError::InvalidConfig {
+                name: "noise_sigma",
+                ..
+            })
+        ));
+        assert!(matches!(
+            synthesize_ingest(1, &[], 2, 0.015),
+            Err(DatasetError::Empty { what: "benchmarks" })
+        ));
     }
 
     #[test]

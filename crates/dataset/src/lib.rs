@@ -18,7 +18,11 @@
 //!   workload) pairs into execution times, and SPEC-style speed ratios
 //!   against a modeled SUN Ultra5 296 MHz reference.
 //! * [`generator`] — deterministic, seeded assembly of the full
-//!   [`database::PerfDatabase`], with measurement noise.
+//!   [`database::PerfDatabase`], with measurement noise, plus synthesis of
+//!   streaming-ingest batches ([`generator::synthesize_ingest`]) appended
+//!   through [`database::PerfDatabase::push_machines`] /
+//!   [`sharded::ShardedPerfDatabase::push_machines`] under a
+//!   monotonically increasing catalog version.
 //! * [`workload_synth`] — synthesis of *applications of interest* that are
 //!   not part of the suite, for end-to-end examples.
 //! * [`view`] — the backing-agnostic [`view::DatabaseView`] read surface
@@ -64,6 +68,7 @@ pub mod sharded;
 pub mod view;
 pub mod workload_synth;
 
+pub use database::MachineIngest;
 pub use error::DatasetError;
 pub use query::{MachineFilter, QueryPlan, ShardStats};
 pub use sharded::ShardedPerfDatabase;

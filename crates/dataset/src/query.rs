@@ -251,6 +251,32 @@ impl ShardStats {
         }
     }
 
+    /// Folds one appended machine into the statistics in place: inserts
+    /// its family (keeping the set sorted), widens the year range, and
+    /// widens each benchmark's score range. `column` is the machine's
+    /// score column in benchmark row order.
+    ///
+    /// After absorbing every appended machine the statistics are exactly
+    /// [`ShardStats::compute`] of the grown shard — min/max over a union
+    /// is the min/max of the per-part min/max — so ingest keeps the
+    /// pruning planner's conservativeness intact without a recompute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` does not cover every benchmark row.
+    pub fn absorb_machine(&mut self, machine: &Machine, column: &[f64]) {
+        assert_eq!(column.len(), self.score_min.len(), "column/benchmark rows");
+        if let Err(pos) = self.families.binary_search(&machine.family) {
+            self.families.insert(pos, machine.family);
+        }
+        self.year_min = self.year_min.min(machine.year);
+        self.year_max = self.year_max.max(machine.year);
+        for (b, &score) in column.iter().enumerate() {
+            self.score_min[b] = self.score_min[b].min(score);
+            self.score_max[b] = self.score_max[b].max(score);
+        }
+    }
+
     /// The distinct processor families in the shard, sorted.
     pub fn families(&self) -> &[ProcessorFamily] {
         &self.families

@@ -25,6 +25,17 @@
 //! persistent worker pool ([`ShardedPerfDatabase::with_parallelism`]) —
 //! both are pure access-path optimizations that never change a returned
 //! byte.
+//!
+//! The database also supports **streaming ingest**
+//! ([`ShardedPerfDatabase::push_machines`]): new machines append to the
+//! tail shard, whose statistics are folded forward in place, and the tail
+//! splits into balanced pieces once it outgrows the
+//! [`ShardedPerfDatabase::with_split_width`] threshold. Every non-empty
+//! ingest bumps a monotonically increasing catalog version
+//! ([`DatabaseView::catalog_version`]) that the serving layer uses to
+//! invalidate its result cache. A catalog grown incrementally is
+//! bitwise-identical to the same catalog built at once
+//! (`tests/ingest_cache.rs` pins this, including across a split).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -32,7 +43,7 @@ use datatrans_linalg::{Matrix, VecView};
 use datatrans_parallel::Parallelism;
 
 use crate::benchmark::Benchmark;
-use crate::database::PerfDatabase;
+use crate::database::{validate_ingest, MachineIngest, PerfDatabase};
 use crate::machine::Machine;
 use crate::query::{MachineFilter, PreparedFilter, QueryPlan, ShardStats};
 use crate::view::{DatabaseView, DbReader, RowSegment};
@@ -93,14 +104,27 @@ pub struct ShardedPerfDatabase {
     machines: Vec<Machine>,
     shards: Vec<Shard>,
     /// Per-shard aggregate statistics (family set, year range, score
-    /// ranges), computed once at construction and consulted by the
-    /// shard-pruning planner.
+    /// ranges), computed at construction and updated in place on ingest;
+    /// consulted by the shard-pruning planner.
     stats: Vec<ShardStats>,
-    /// Width of the trailing (narrow) shards: `n_machines / n_shards`.
+    /// Width of the trailing (narrow) shards at construction:
+    /// `n_machines / n_shards`. Only meaningful while `balanced` holds.
     base_width: usize,
     /// Number of leading shards that are one column wider:
-    /// `n_machines % n_shards`.
+    /// `n_machines % n_shards`. Only meaningful while `balanced` holds.
     wide_shards: usize,
+    /// Whether shard widths still follow the balanced construction layout
+    /// (`base_width`/`wide_shards`). True from [`Self::from_dense`];
+    /// cleared by [`Self::push_machines`], after which
+    /// [`Self::shard_of`] binary-searches shard starts instead of using
+    /// the O(1) arithmetic.
+    balanced: bool,
+    /// Width threshold past which the tail shard is split after an ingest
+    /// (`None`: the tail grows without bound).
+    split_width: Option<usize>,
+    /// Ingest counter: 0 at construction, +1 per non-empty
+    /// [`Self::push_machines`] call.
+    catalog_version: u64,
     /// Worker threads for the per-row fan-out of [`DatabaseView::gather`].
     /// `Sequential` (the default) copies inline; any other value fans
     /// run-hoisted row copies across the persistent pool. Values are moved
@@ -176,6 +200,9 @@ impl ShardedPerfDatabase {
             stats,
             base_width,
             wide_shards,
+            balanced: true,
+            split_width: None,
+            catalog_version: db.catalog_version(),
             parallelism: Parallelism::Sequential,
         })
     }
@@ -198,6 +225,121 @@ impl ShardedPerfDatabase {
         self.parallelism
     }
 
+    /// Sets the tail-shard split threshold (builder style): after an
+    /// ingest, any shard wider than `width` columns is split into balanced
+    /// pieces of at most `width` columns. The default (no threshold) lets
+    /// the tail shard grow without bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `width` is zero.
+    pub fn with_split_width(mut self, width: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(DatasetError::InvalidConfig {
+                name: "split_width",
+                value: "0 (a shard must own at least one column)".into(),
+            });
+        }
+        self.split_width = Some(width);
+        Ok(self)
+    }
+
+    /// The tail-shard split threshold, if one is set.
+    pub fn split_width(&self) -> Option<usize> {
+        self.split_width
+    }
+
+    /// The catalog version: 0 at construction (or the source dense
+    /// database's version), incremented by every non-empty
+    /// [`Self::push_machines`] call. See [`PerfDatabase::catalog_version`].
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// Appends machines to the **tail shard**, updating its
+    /// [`ShardStats`] in place, then splits the tail into balanced pieces
+    /// if it grew past the [`Self::with_split_width`] threshold. Bumps the
+    /// catalog version.
+    ///
+    /// An empty batch is a no-op and does **not** bump the version. Scores
+    /// are stored verbatim — a catalog grown through this method is
+    /// bitwise-identical (every [`DatabaseView`] accessor) to the same
+    /// catalog built at once, whatever the shard layout.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerfDatabase::push_machines`]; on error the
+    /// database is unchanged.
+    pub fn push_machines(&mut self, batch: &[MachineIngest]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let n_benchmarks = self.benchmarks.len();
+        validate_ingest(batch, n_benchmarks)?;
+        // Rebuild the tail shard's block with the new columns appended.
+        let tail = self.shards.last_mut().expect("at least one shard");
+        let new_width = tail.scores.cols() + batch.len();
+        let mut block = Vec::with_capacity(n_benchmarks * new_width);
+        for b in 0..n_benchmarks {
+            block.extend_from_slice(tail.scores.row(b));
+            block.extend(batch.iter().map(|entry| entry.scores[b]));
+        }
+        tail.scores = Matrix::from_vec(n_benchmarks, new_width, block)
+            .expect("appended shard block has exactly benchmarks × width entries");
+        // Fold each appended machine into the tail's statistics in place
+        // (an ingest entry's score vector IS its machine column).
+        let stats = self.stats.last_mut().expect("one stats per shard");
+        for entry in batch {
+            stats.absorb_machine(&entry.machine, &entry.scores);
+            self.machines.push(entry.machine.clone());
+        }
+        self.split_tail_if_oversized();
+        // Widths no longer follow the balanced construction layout;
+        // shard_of falls back to binary search.
+        self.balanced = false;
+        self.catalog_version += 1;
+        Ok(())
+    }
+
+    /// Splits the tail shard into balanced pieces of at most `split_width`
+    /// columns, recomputing each piece's statistics from its stored block.
+    /// No-op without a threshold or while the tail fits.
+    fn split_tail_if_oversized(&mut self) {
+        let Some(limit) = self.split_width else {
+            return;
+        };
+        let width = self.shards.last().expect("at least one shard").width();
+        if width <= limit {
+            return;
+        }
+        let tail = self.shards.pop().expect("at least one shard");
+        self.stats.pop();
+        let pieces = width.div_ceil(limit);
+        let base = width / pieces;
+        let wide = width % pieces;
+        let n_benchmarks = self.benchmarks.len();
+        let mut local_start = 0;
+        for p in 0..pieces {
+            let w = base + usize::from(p < wide);
+            let mut block = Vec::with_capacity(n_benchmarks * w);
+            for b in 0..n_benchmarks {
+                block.extend_from_slice(&tail.row(b)[local_start..local_start + w]);
+            }
+            let shard = Shard {
+                start: tail.start + local_start,
+                scores: Matrix::from_vec(n_benchmarks, w, block)
+                    .expect("split block has exactly benchmarks × width entries"),
+            };
+            self.stats.push(ShardStats::compute(
+                &self.machines[shard.machine_range()],
+                &shard.scores,
+            ));
+            self.shards.push(shard);
+            local_start += w;
+        }
+        debug_assert_eq!(local_start, width);
+    }
+
     /// The aggregate statistics of shard `s` (family set, year range,
     /// per-benchmark score ranges).
     ///
@@ -208,7 +350,8 @@ impl ShardedPerfDatabase {
         &self.stats[s]
     }
 
-    /// Reassembles the dense equivalent (bitwise-identical scores).
+    /// Reassembles the dense equivalent (bitwise-identical scores; the
+    /// catalog version carries over).
     pub fn to_dense(&self) -> PerfDatabase {
         let n_benchmarks = self.benchmarks.len();
         let mut scores = Vec::with_capacity(n_benchmarks * self.machines.len());
@@ -217,8 +360,10 @@ impl ShardedPerfDatabase {
                 scores.extend_from_slice(shard.row(b));
             }
         }
-        PerfDatabase::new(self.benchmarks.clone(), self.machines.clone(), scores)
-            .expect("a valid sharded database reassembles into a valid dense one")
+        let mut dense = PerfDatabase::new(self.benchmarks.clone(), self.machines.clone(), scores)
+            .expect("a valid sharded database reassembles into a valid dense one");
+        dense.set_catalog_version(self.catalog_version);
+        dense
     }
 
     /// Number of shards.
@@ -249,19 +394,26 @@ impl ShardedPerfDatabase {
         &self.machines[self.shards[s].machine_range()]
     }
 
-    /// Index of the shard owning machine column `m` (O(1): shard widths
-    /// are balanced by construction).
+    /// Index of the shard owning machine column `m` — O(1) arithmetic
+    /// while the balanced construction layout holds, binary search over
+    /// shard starts once an ingest has perturbed the widths.
     ///
     /// # Panics
     ///
     /// Panics if `m` is out of bounds.
     pub fn shard_of(&self, m: usize) -> usize {
         assert!(m < self.machines.len(), "machine index out of bounds");
-        let wide_cols = self.wide_shards * (self.base_width + 1);
-        if m < wide_cols {
-            m / (self.base_width + 1)
+        if self.balanced {
+            let wide_cols = self.wide_shards * (self.base_width + 1);
+            if m < wide_cols {
+                m / (self.base_width + 1)
+            } else {
+                self.wide_shards + (m - wide_cols) / self.base_width
+            }
         } else {
-            self.wide_shards + (m - wide_cols) / self.base_width
+            // Shard starts are strictly increasing; the owner is the last
+            // shard starting at or before m.
+            self.shards.partition_point(|s| s.start <= m) - 1
         }
     }
 
@@ -401,6 +553,10 @@ impl DatabaseView for ShardedPerfDatabase {
         self.shards.len()
     }
 
+    fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
     fn plan_machines(&self, filter: &MachineFilter) -> QueryPlan {
         // Conservative shard pruning: skip a shard only when its
         // statistics prove no machine can match (family absent, year
@@ -518,6 +674,10 @@ impl DatabaseView for ShardReader<'_> {
 
     fn n_shards(&self) -> usize {
         self.db.shards.len()
+    }
+
+    fn catalog_version(&self) -> u64 {
+        self.db.catalog_version
     }
 
     fn plan_machines(&self, filter: &MachineFilter) -> QueryPlan {
@@ -757,6 +917,148 @@ mod tests {
             assert_eq!(view.gather(&rows, &[]).shape(), (db.n_benchmarks(), 0));
             assert_eq!(view.gather(&[], &[]).shape(), (0, 0));
         }
+    }
+
+    fn ingest_batch(n: usize, offset: usize, db: &PerfDatabase) -> Vec<MachineIngest> {
+        // Recycle existing catalog columns as ingest entries so scores are
+        // valid and easy to cross-check.
+        (0..n)
+            .map(|i| {
+                let src = (offset + i) % db.n_machines();
+                MachineIngest {
+                    machine: db.machines()[src].clone(),
+                    scores: (0..db.n_benchmarks()).map(|b| db.score(b, src)).collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_appends_to_tail_and_updates_stats_in_place() {
+        let db = dense();
+        let mut sharded = ShardedPerfDatabase::from_dense(&db, 5).unwrap();
+        let batch = ingest_batch(4, 7, &db);
+        sharded.push_machines(&batch).unwrap();
+        assert_eq!(sharded.n_shards(), 5, "no threshold: tail absorbs");
+        assert_eq!(sharded.n_machines(), 121);
+        assert_eq!(sharded.catalog_version(), 1);
+        // Appended columns read back bitwise.
+        for (i, entry) in batch.iter().enumerate() {
+            let m = 117 + i;
+            assert_eq!(&sharded.machines()[m], &entry.machine);
+            for b in 0..sharded.n_benchmarks() {
+                assert_eq!(
+                    DatabaseView::score(&sharded, b, m).to_bits(),
+                    entry.scores[b].to_bits()
+                );
+            }
+        }
+        // Tail stats still cover every machine in the tail's (grown) range.
+        let s = sharded.n_shards() - 1;
+        let stats = sharded.shard_stats(s);
+        let (y_min, y_max) = stats.year_range();
+        for m in sharded.shard(s).machine_range() {
+            let machine = &sharded.machines()[m];
+            assert!(stats.families().contains(&machine.family));
+            assert!((y_min..=y_max).contains(&machine.year));
+            for b in 0..sharded.n_benchmarks() {
+                let (lo, hi) = stats.score_range(b);
+                let score = DatabaseView::score(&sharded, b, m);
+                assert!(lo <= score && score <= hi, "b={b} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_tail_splits_into_balanced_covering_pieces() {
+        let db = dense();
+        let mut sharded = ShardedPerfDatabase::from_dense(&db, 5)
+            .unwrap()
+            .with_split_width(25)
+            .unwrap();
+        assert_eq!(sharded.split_width(), Some(25));
+        // Tail starts at width 23; +30 = 53 > 25 splits into ceil(53/25)=3
+        // pieces of widths 18/18/17.
+        sharded.push_machines(&ingest_batch(30, 0, &db)).unwrap();
+        assert_eq!(sharded.n_shards(), 7);
+        let widths: Vec<usize> = sharded.shards().iter().map(Shard::width).collect();
+        assert_eq!(&widths[4..], &[18, 18, 17]);
+        assert!(widths.iter().all(|&w| w <= 25), "widths {widths:?}");
+        // Shards stay contiguous and cover everything; shard_of agrees.
+        let mut next = 0;
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            assert_eq!(shard.start(), next);
+            next = shard.machine_range().end;
+            for m in shard.machine_range() {
+                assert_eq!(sharded.shard_of(m), s);
+            }
+        }
+        assert_eq!(next, 147);
+        // Every split piece's stats cover its machines.
+        for s in 0..sharded.n_shards() {
+            let stats = sharded.shard_stats(s);
+            for m in sharded.shard(s).machine_range() {
+                for b in 0..sharded.n_benchmarks() {
+                    let (lo, hi) = stats.score_range(b);
+                    let score = DatabaseView::score(&sharded, b, m);
+                    assert!(lo <= score && score <= hi, "shard {s} b={b} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_push_is_a_noop_without_version_bump() {
+        let db = dense();
+        let mut sharded = ShardedPerfDatabase::from_dense(&db, 4).unwrap();
+        let before = sharded.clone();
+        sharded.push_machines(&[]).unwrap();
+        assert_eq!(sharded, before);
+        assert_eq!(sharded.catalog_version(), 0);
+    }
+
+    #[test]
+    fn mismatched_ingest_is_rejected_and_leaves_db_unchanged() {
+        let db = dense();
+        let mut sharded = ShardedPerfDatabase::from_dense(&db, 4).unwrap();
+        let before = sharded.clone();
+        let mut batch = ingest_batch(1, 0, &db);
+        batch[0].scores.pop();
+        assert!(matches!(
+            sharded.push_machines(&batch),
+            Err(DatasetError::BenchmarkCountMismatch {
+                expected: 29,
+                got: 28
+            })
+        ));
+        assert_eq!(sharded, before);
+    }
+
+    #[test]
+    fn version_is_monotonic_and_survives_to_dense() {
+        let db = dense();
+        let mut sharded = ShardedPerfDatabase::from_dense(&db, 4).unwrap();
+        assert_eq!(DatabaseView::catalog_version(&sharded), 0);
+        for expected in 1..=3u64 {
+            sharded.push_machines(&ingest_batch(2, 0, &db)).unwrap();
+            assert_eq!(sharded.catalog_version(), expected);
+        }
+        assert_eq!(sharded.to_dense().catalog_version(), 3);
+        assert_eq!(sharded.reader().catalog_version(), 3);
+    }
+
+    #[test]
+    fn rejects_zero_split_width() {
+        let db = dense();
+        assert!(matches!(
+            ShardedPerfDatabase::from_dense(&db, 4)
+                .unwrap()
+                .with_split_width(0),
+            Err(DatasetError::InvalidConfig {
+                name: "split_width",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -97,6 +97,15 @@ pub trait DatabaseView: Sync {
         1
     }
 
+    /// The backing catalog's version counter: 0 for a freshly built
+    /// catalog, incremented by every non-empty machine ingest. The serving
+    /// layer keys its result cache on `(request fingerprint, version)`, so
+    /// a moved version drops every stale entry. Default: 0 (an immutable
+    /// view never changes).
+    fn catalog_version(&self) -> u64 {
+        0
+    }
+
     /// Resolves a machine restriction to a [`QueryPlan`]: the matching
     /// machine indices in ascending catalog order, plus how many shards
     /// the planner scanned versus pruned.
@@ -266,6 +275,13 @@ impl DatabaseView for DbReader<'_> {
         match self {
             DbReader::Dense(_) => 1,
             DbReader::Sharded(r) => r.n_shards(),
+        }
+    }
+
+    fn catalog_version(&self) -> u64 {
+        match self {
+            DbReader::Dense(db) => DatabaseView::catalog_version(*db),
+            DbReader::Sharded(r) => r.catalog_version(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--shards N] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]
+//! repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|diag|all]
 //! ```
 
 use std::env;
@@ -13,12 +13,15 @@ use datatrans_experiments::{
 };
 
 fn usage() -> &'static str {
-    "usage: repro [--quick] [--seed N] [--shards N] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|diag|all]\n\
+    "usage: repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|diag|all]\n\
      \n\
      --quick     reduced budgets (fewer apps/trials/epochs) for a fast pass\n\
      --seed N    dataset + experiment seed (default: paper-run seed)\n\
      --shards N  run on the machine-range-sharded database backing\n\
                  (results are bitwise-identical to the dense default)\n\
+     --ingest    serve only: interleave a streaming machine ingest (cold\n\
+                 batch, warm all-hit batch, push machines, post-ingest\n\
+                 batch) and report cache hit/miss/invalidation counts\n\
      \n\
      serve       drive the batched ranking-query engine under a synthetic\n\
                  request mix (combine with --shards N to see shard pruning)\n"
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--ingest" => config.serve_ingest = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;

@@ -1,7 +1,7 @@
 //! Shared experiment configuration.
 
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
-use datatrans_dataset::database::PerfDatabase;
+use datatrans_dataset::database::{MachineIngest, PerfDatabase};
 use datatrans_dataset::generator::{generate, DatasetConfig};
 use datatrans_dataset::sharded::ShardedPerfDatabase;
 use datatrans_dataset::view::DatabaseView;
@@ -54,6 +54,12 @@ pub struct ExperimentConfig {
     pub serve_requests: usize,
     /// `top_k` cut applied to each synthetic serving request.
     pub serve_top_k: usize,
+    /// Run `repro serve` in ingest-interleaved mode: serve the batch cold,
+    /// re-serve it warm (all cache hits), push a synthetic machine-ingest
+    /// batch (bumping the catalog version), then serve again post-ingest —
+    /// reporting the cache's hit/miss/invalidation counts across all three
+    /// phases.
+    pub serve_ingest: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -71,6 +77,7 @@ impl Default for ExperimentConfig {
             gather_parallel: false,
             serve_requests: 48,
             serve_top_k: 5,
+            serve_ingest: false,
         }
     }
 }
@@ -101,6 +108,22 @@ impl DbBacking {
             DbBacking::Dense(_) => 1,
             DbBacking::Sharded(db) => db.n_shards(),
         }
+    }
+
+    /// Appends machines to whichever backing this is, bumping its catalog
+    /// version (see [`PerfDatabase::push_machines`] and
+    /// [`ShardedPerfDatabase::push_machines`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ingest validation failures; the backing is unchanged on
+    /// error.
+    pub fn push_machines(&mut self, batch: &[MachineIngest]) -> Result<()> {
+        match self {
+            DbBacking::Dense(db) => db.push_machines(batch)?,
+            DbBacking::Sharded(db) => db.push_machines(batch)?,
+        }
+        Ok(())
     }
 }
 

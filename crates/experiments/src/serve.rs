@@ -3,15 +3,24 @@
 //!
 //! Synthesizes a deterministic batch of [`RankRequest`]s (suite and
 //! external applications, family / year / score restrictions, all three
-//! models), serves it in one pool pass with [`serve_batch`], and reports
-//! per-model response counts, planner pruning totals, and throughput.
-//! Responses are bitwise-identical across backings, thread counts, and
-//! batch permutations — only the throughput line varies run to run.
+//! models), serves it through the versioned result cache
+//! ([`serve_batch_cached`]), and reports per-model response counts,
+//! planner pruning totals, cache counters, and throughput. With
+//! [`ExperimentConfig::serve_ingest`] the driver interleaves a streaming
+//! ingest: cold batch → warm batch (all hits) → push a synthetic machine
+//! batch (bumping the catalog version) → post-ingest batch (every entry
+//! invalidated, all misses again). Responses are bitwise-identical across
+//! backings, thread counts, and batch permutations — only the throughput
+//! line varies run to run.
 
 use std::fmt;
 use std::time::Instant;
 
-use datatrans_core::serve::{serve_batch, AppOfInterest, ModelKind, RankRequest, RankResponse};
+use datatrans_core::cache::ResultCache;
+use datatrans_core::serve::{
+    serve_batch_cached, AppOfInterest, CachedBatch, ModelKind, RankRequest, RankResponse,
+};
+use datatrans_dataset::generator::synthesize_ingest;
 use datatrans_dataset::machine::ProcessorFamily;
 use datatrans_dataset::query::MachineFilter;
 use datatrans_dataset::view::DatabaseView;
@@ -19,16 +28,29 @@ use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
 
 use crate::{ExperimentConfig, Result};
 
+/// Machines pushed by the ingest-interleaved mode's synthetic batch.
+const INGEST_MACHINES: usize = 8;
+
 /// The serve driver's outcome: the responses plus run accounting.
 #[derive(Debug, Clone)]
 pub struct ServeResult {
-    /// The served responses, in request order.
+    /// The served responses, in request order (ingest mode: the
+    /// post-ingest phase's responses, computed against the grown catalog).
     pub responses: Vec<RankResponse>,
     /// A short human-readable label of each request, aligned with
     /// `responses`.
     pub labels: Vec<String>,
-    /// Number of storage shards in the backing.
+    /// Number of storage shards in the backing (ingest mode: after the
+    /// ingest, which may have split the tail shard).
     pub n_shards: usize,
+    /// Result-cache hits across all served phases.
+    pub cache_hits: u64,
+    /// Result-cache misses across all served phases.
+    pub cache_misses: u64,
+    /// Cache entries invalidated by catalog-version moves.
+    pub cache_invalidations: u64,
+    /// Machines pushed by the ingest-interleaved mode (0 otherwise).
+    pub ingested_machines: usize,
     /// Wall-clock seconds for the batch (the one non-deterministic field).
     pub elapsed_secs: f64,
 }
@@ -101,25 +123,62 @@ pub fn synth_requests<D: DatabaseView + ?Sized>(
     (requests, labels)
 }
 
-/// Runs the serving driver: synthesize the batch, serve it, account for
-/// pruning and throughput.
+/// Runs the serving driver: synthesize the batch, serve it through the
+/// result cache, account for pruning, cache effectiveness, and
+/// throughput. With [`ExperimentConfig::serve_ingest`], interleaves a
+/// streaming ingest between a warm re-serve and a post-ingest re-serve.
 ///
 /// # Errors
 ///
-/// Propagates backing construction and serving failures.
+/// Propagates backing construction, ingest, and serving failures.
 pub fn run(config: &ExperimentConfig) -> Result<ServeResult> {
-    let backing = config.build_backing()?;
-    let db = backing.view();
+    let mut backing = config.build_backing()?;
     let n = config.scaled_trials(config.serve_requests);
-    let (requests, labels) = synth_requests(db, n, config.serve_top_k, config.seed);
+    let (requests, labels) = synth_requests(backing.view(), n, config.serve_top_k, config.seed);
     let serve_config = config.serve_config();
+    let mut cache = ResultCache::new((n * 2).max(16));
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut invalidations = 0;
+    let mut absorb = |batch: &CachedBatch| {
+        hits += batch.hits;
+        misses += batch.misses;
+        invalidations += batch.invalidations;
+    };
     let started = Instant::now();
-    let responses = serve_batch(db, &requests, &serve_config)?;
+    let cold = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache)?;
+    absorb(&cold);
+    let (responses, ingested_machines) = if config.serve_ingest {
+        // Warm pass: the same batch again, answered entirely from the
+        // cache (bitwise-identical to the cold responses).
+        let warm = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache)?;
+        absorb(&warm);
+        debug_assert_eq!(warm.responses, cold.responses);
+        // Streaming ingest: push new machines, bumping the catalog
+        // version; the next batch drops every cached entry and
+        // re-evaluates against the grown catalog.
+        let ingest = synthesize_ingest(
+            config.seed ^ 0x16E5_7ED0,
+            backing.view().benchmarks(),
+            INGEST_MACHINES,
+            config.dataset.noise_sigma,
+        )?;
+        backing.push_machines(&ingest)?;
+        let post = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache)?;
+        absorb(&post);
+        (post.responses, ingest.len())
+    } else {
+        (cold.responses, 0)
+    };
     let elapsed_secs = started.elapsed().as_secs_f64();
     Ok(ServeResult {
         responses,
         labels,
         n_shards: backing.n_shards(),
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_invalidations: invalidations,
+        ingested_machines,
         elapsed_secs,
     })
 }
@@ -173,6 +232,15 @@ impl fmt::Display for ServeResult {
             f,
             "planner: {scanned} shard scans, {pruned} pruned ({pct:.0}% of shard visits avoided)"
         )?;
+        write!(
+            f,
+            "cache: {} hits, {} misses, {} invalidated",
+            self.cache_hits, self.cache_misses, self.cache_invalidations
+        )?;
+        if self.ingested_machines > 0 {
+            write!(f, " (ingested {} machines)", self.ingested_machines)?;
+        }
+        writeln!(f)?;
         writeln!(
             f,
             "throughput: {:.1} queries/s ({:.2}s wall)",
@@ -204,9 +272,36 @@ mod tests {
         assert!(!result.responses.is_empty());
         assert_eq!(result.responses.len(), result.labels.len());
         assert_eq!(result.n_shards, 8);
+        // Plain mode: one cold pass, everything misses, nothing ingested.
+        assert_eq!(result.cache_hits, 0);
+        assert_eq!(result.cache_misses, result.responses.len() as u64);
+        assert_eq!(result.cache_invalidations, 0);
+        assert_eq!(result.ingested_machines, 0);
         let text = result.to_string();
         assert!(text.contains("ranking queries"));
         assert!(text.contains("planner:"));
+        assert!(text.contains("cache:"));
+    }
+
+    #[test]
+    fn ingest_mode_pins_cache_counters() {
+        let config = ExperimentConfig {
+            serve_ingest: true,
+            trial_scale: 0.5,
+            ..quick_serve_config()
+        };
+        // 12 nominal requests × 0.5 = 6 per phase: the cold pass misses
+        // all 6, the warm pass hits all 6, the ingest invalidates the 6
+        // resident entries, and the post-ingest pass misses all 6 again.
+        let result = run(&config).unwrap();
+        assert_eq!(result.responses.len(), 6);
+        assert_eq!(result.cache_hits, 6);
+        assert_eq!(result.cache_misses, 12);
+        assert_eq!(result.cache_invalidations, 6);
+        assert_eq!(result.ingested_machines, 8);
+        let text = result.to_string();
+        assert!(text.contains("cache: 6 hits, 12 misses, 6 invalidated"));
+        assert!(text.contains("ingested 8 machines"));
     }
 
     #[test]
