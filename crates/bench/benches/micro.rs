@@ -13,16 +13,18 @@
 //! sharded, plus the serving layer: pool-fanned sharded gathers
 //! (`db_gather_par`), the batched ranking-query front end
 //! (`query_batch`), dense vs sharded-with-pruning, the versioned result
-//! cache cold vs warm (`serve_cache`), and streaming machine ingest with
-//! tail-shard splitting (`db_ingest`).
+//! cache cold vs warm (`serve_cache`), streaming machine ingest with
+//! tail-shard splitting (`db_ingest`), bootstrap rank-confidence
+//! intervals sequential vs pooled (`rank_ci`), and the serving path with
+//! the confidence annex enabled vs plain (`serve_noisy`).
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_scaled_database, bench_sharded_database, bench_task};
 use datatrans_core::cache::ResultCache;
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
-use datatrans_core::serve::{serve_batch, serve_batch_cached, ServeConfig};
+use datatrans_core::serve::{serve_batch, serve_batch_cached, ConfidenceConfig, ServeConfig};
 use datatrans_dataset::generator::{
-    generate, generate_scaled, synthesize_ingest, DatasetConfig, ScaleConfig,
+    generate, generate_scaled, synthesize_ingest, DatasetConfig, NoiseConfig, ScaleConfig,
 };
 use datatrans_dataset::machine::ProcessorFamily;
 use datatrans_dataset::sharded::ShardedPerfDatabase;
@@ -35,6 +37,7 @@ use datatrans_ml::knn::{select_k_nearest, KnnIndex, Neighbor};
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
 use datatrans_parallel::Parallelism;
 use datatrans_stats::correlation::spearman;
+use datatrans_stats::rank::bootstrap_rank_confidence;
 
 fn bench_predictors(c: &mut Criterion) {
     let db = bench_database();
@@ -655,15 +658,15 @@ fn bench_query_batch(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mixed16_dense_seq", |bch| {
         let cfg = config(Parallelism::Sequential);
-        bch.iter(|| std::hint::black_box(serve_batch(&dense, &requests, &cfg).expect("serves")))
+        bch.iter(|| std::hint::black_box(serve_batch(&dense, &requests, &cfg)))
     });
     group.bench_function("mixed16_sharded8_seq", |bch| {
         let cfg = config(Parallelism::Sequential);
-        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg).expect("serves")))
+        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg)))
     });
     group.bench_function("mixed16_sharded8_pool4", |bch| {
         let cfg = config(Parallelism::Threads(4));
-        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg).expect("serves")))
+        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg)))
     });
     group.finish();
 }
@@ -688,15 +691,15 @@ fn bench_serve_cache(c: &mut Criterion) {
     group.bench_function("cold_mixed16_sharded8", |bch| {
         bch.iter(|| {
             let mut cache = ResultCache::new(64);
-            let batch = serve_batch_cached(&sharded, &requests, &cfg, &mut cache).expect("serves");
+            let batch = serve_batch_cached(&sharded, &requests, &cfg, &mut cache);
             std::hint::black_box(batch.misses)
         })
     });
     group.bench_function("warm_mixed16_sharded8", |bch| {
         let mut cache = ResultCache::new(64);
-        serve_batch_cached(&sharded, &requests, &cfg, &mut cache).expect("warms");
+        serve_batch_cached(&sharded, &requests, &cfg, &mut cache);
         bch.iter(|| {
-            let batch = serve_batch_cached(&sharded, &requests, &cfg, &mut cache).expect("serves");
+            let batch = serve_batch_cached(&sharded, &requests, &cfg, &mut cache);
             std::hint::black_box(batch.hits)
         })
     });
@@ -749,6 +752,74 @@ fn bench_db_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tie-aware bootstrap rank-confidence intervals: a catalog-sized panel
+/// (117 items × 8 repeated measurements synthesized through the noise
+/// model) at 200 resamples, sequential vs pool-fanned replicate loop.
+/// Both variants are bitwise-identical by the per-replicate derived-stream
+/// contract; the bench prices the fan-out.
+fn bench_rank_ci(c: &mut Criterion) {
+    let noise = NoiseConfig {
+        seed: 7,
+        sigma: 0.05,
+        repeats: 8,
+    };
+    let samples: Vec<Vec<f64>> = (0..117)
+        .map(|m| noise.measure(100.0 + m as f64, 0, m))
+        .collect();
+
+    let mut group = c.benchmark_group("rank_ci");
+    group.sample_size(30);
+    group.bench_function("bootstrap200_117x8_seq", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(
+                bootstrap_rank_confidence(&samples, 200, 0.95, 42, Parallelism::Sequential)
+                    .expect("rank ci"),
+            )
+        })
+    });
+    group.bench_function("bootstrap200_117x8_pool4", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(
+                bootstrap_rank_confidence(&samples, 200, 0.95, 42, Parallelism::Threads(4))
+                    .expect("rank ci"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The serving path with the confidence annex: the same 8-request batch
+/// served plain vs with bootstrap rank CIs and tie groups, on the
+/// 8-shard backing. The gap is the per-request measurement synthesis +
+/// bootstrap cost riding on top of model time.
+fn bench_serve_noisy(c: &mut Criterion) {
+    let dense = bench_database();
+    let sharded = bench_sharded_database_117(&dense);
+    let (requests, _labels) = synth_requests(&dense, 8, 5, 42);
+    let cfg = ServeConfig {
+        parallelism: Parallelism::Sequential,
+        ..ServeConfig::quick()
+    };
+    let mut with_confidence = requests.clone();
+    for request in &mut with_confidence {
+        request.confidence = Some(ConfidenceConfig {
+            repeats: 4,
+            resamples: 100,
+            ..ConfidenceConfig::default()
+        });
+    }
+
+    let mut group = c.benchmark_group("serve_noisy");
+    group.sample_size(10);
+    group.bench_function("mixed8_plain_sharded8", |bch| {
+        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &requests, &cfg)))
+    });
+    group.bench_function("mixed8_confidence_sharded8", |bch| {
+        bch.iter(|| std::hint::black_box(serve_batch(&sharded, &with_confidence, &cfg)))
+    });
+    group.finish();
+}
+
 /// The paper-sized (29 × 117) database partitioned 8 ways, for the
 /// serving benches (the 1k fixture would drown the planner in model
 /// time).
@@ -776,6 +847,8 @@ criterion_group!(
     bench_db_gather_par,
     bench_query_batch,
     bench_serve_cache,
-    bench_db_ingest
+    bench_db_ingest,
+    bench_rank_ci,
+    bench_serve_noisy
 );
 criterion_main!(benches);

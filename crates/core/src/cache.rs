@@ -183,6 +183,7 @@ mod tests {
             restrict: MachineFilter::all(),
             top_k: None,
             seed,
+            confidence: None,
         }
     }
 
@@ -196,6 +197,7 @@ mod tests {
             candidates: 1,
             shards_scanned: 1,
             shards_pruned: 0,
+            confidence: None,
         }
     }
 

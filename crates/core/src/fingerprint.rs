@@ -82,6 +82,7 @@ const TAG_PREDICTIVE: u64 = 0xA3;
 const TAG_RESTRICT: u64 = 0xA4;
 const TAG_TOP_K: u64 = 0xA5;
 const TAG_SEED: u64 = 0xA6;
+const TAG_CONFIDENCE: u64 = 0xA7;
 
 /// A stable 64-bit digest of a [`RankRequest`]'s semantic content.
 ///
@@ -153,6 +154,19 @@ impl RequestFingerprint {
         mixer.absorb_option(request.top_k.map(|k| k as u64));
         mixer.absorb(TAG_SEED);
         mixer.absorb(request.seed);
+        // The optional confidence block is absorbed only when present:
+        // a request without one digests byte-identically to the format
+        // from before the field existed (the pinned goldens in
+        // `tests/ingest_cache.rs` hold), while the domain tag keeps any
+        // confidence-bearing request from colliding with an old-format
+        // request that merely shares a seed.
+        if let Some(c) = &request.confidence {
+            mixer.absorb(TAG_CONFIDENCE);
+            mixer.absorb(c.level.to_bits());
+            mixer.absorb(c.sigma.to_bits());
+            mixer.absorb(c.repeats as u64);
+            mixer.absorb(c.resamples as u64);
+        }
         RequestFingerprint(mixer.0)
     }
 
@@ -165,7 +179,7 @@ impl RequestFingerprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::ModelKind;
+    use crate::serve::{ConfidenceConfig, ModelKind};
     use datatrans_dataset::machine::ProcessorFamily;
     use datatrans_dataset::query::MachineFilter;
     use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
@@ -178,6 +192,7 @@ mod tests {
             restrict: MachineFilter::family(ProcessorFamily::Xeon),
             top_k: Some(5),
             seed: 7,
+            confidence: None,
         }
     }
 
@@ -229,9 +244,43 @@ mod tests {
                 seed: 8,
                 ..base_request()
             },
+            RankRequest {
+                confidence: Some(ConfidenceConfig::default()),
+                ..base_request()
+            },
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base, RequestFingerprint::of(v), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn every_confidence_field_is_load_bearing() {
+        let with = |confidence: ConfidenceConfig| RankRequest {
+            confidence: Some(confidence),
+            ..base_request()
+        };
+        let base = RequestFingerprint::of(&with(ConfidenceConfig::default()));
+        let variants = [
+            ConfidenceConfig {
+                level: 0.9,
+                ..ConfidenceConfig::default()
+            },
+            ConfidenceConfig {
+                sigma: 0.02,
+                ..ConfidenceConfig::default()
+            },
+            ConfidenceConfig {
+                repeats: 9,
+                ..ConfidenceConfig::default()
+            },
+            ConfidenceConfig {
+                resamples: 100,
+                ..ConfidenceConfig::default()
+            },
+        ];
+        for (i, v) in variants.into_iter().enumerate() {
+            assert_ne!(base, RequestFingerprint::of(&with(v)), "variant {i}");
         }
     }
 

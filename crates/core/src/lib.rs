@@ -25,7 +25,11 @@
 //!   behaviour space that makes transposition work.
 //! * [`serve`] — the batched ranking-query front end: plan (with shard
 //!   pruning) → gather → predict → rank, many requests per pool pass,
-//!   bitwise-identical at any thread count and on either backing.
+//!   bitwise-identical at any thread count and on either backing. Each
+//!   request validates into a typed per-slot [`serve::ServeError`]
+//!   (fault-isolated batches), and an optional
+//!   [`serve::ConfidenceConfig`] attaches bootstrap rank-confidence
+//!   intervals and tie groups to the response.
 //! * [`fingerprint`] — stable splitmix64-based 64-bit digests of ranking
 //!   requests, the key material of the serving-path result cache.
 //! * [`cache`] — the bounded, versioned LRU result cache: hits are

@@ -24,19 +24,126 @@
 //!
 //! [`DbReader`]: datatrans_dataset::view::DbReader
 
+use std::error::Error;
+use std::fmt;
+
 use datatrans_dataset::characteristics::WorkloadCharacteristics;
+use datatrans_dataset::generator::NoiseConfig;
 use datatrans_dataset::query::MachineFilter;
 use datatrans_dataset::view::DatabaseView;
+use datatrans_dataset::DatasetError;
 use datatrans_ml::ga::GaConfig;
 use datatrans_ml::mlp::MlpConfig;
 use datatrans_parallel::Parallelism;
+use datatrans_stats::rank::bootstrap_rank_confidence;
 
 use crate::cache::ResultCache;
 use crate::fingerprint::RequestFingerprint;
 use crate::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
 use crate::ranking::Ranking;
 use crate::task::PredictionTask;
-use crate::{CoreError, Result};
+use crate::CoreError;
+
+/// Domain-separation constant for the measurement-noise streams a
+/// confidence-bearing request synthesizes from its predicted scores.
+const CONFIDENCE_NOISE_SEED: u64 = 0xC01F_1DE5_CE5E_ED01;
+
+/// Domain-separation constant for the confidence bootstrap's replicate
+/// streams (distinct from the measurement streams by construction).
+const CONFIDENCE_BOOTSTRAP_SEED: u64 = 0xC01F_1DE5_CE5E_ED02;
+
+/// A typed per-request serving failure.
+///
+/// Every way a [`RankRequest`] can be malformed is validated up front into
+/// one of these variants, so request handling never panics and
+/// [`serve_batch`] can degrade per slot instead of poisoning a whole
+/// batch.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A [`AppOfInterest::Suite`] row at or past the benchmark count.
+    UnknownBenchmark {
+        /// The requested row.
+        index: usize,
+        /// The catalog's benchmark count (exclusive bound).
+        bound: usize,
+    },
+    /// The request names no predictive machines, so no model can train.
+    EmptyPredictiveSet,
+    /// A predictive machine index at or past the machine count.
+    PredictiveOutOfRange {
+        /// The offending machine index.
+        index: usize,
+        /// The catalog's machine count (exclusive bound).
+        bound: usize,
+    },
+    /// The restriction references an out-of-range index
+    /// (see [`MachineFilter::validate`]).
+    InvalidRestriction {
+        /// Which clause (`"min_score benchmark"` or `"subset machine"`).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+    /// The restriction (minus the predictive set) leaves no candidate
+    /// target machines to rank.
+    EmptyCandidates,
+    /// A [`ConfidenceConfig`] parameter is outside its domain.
+    InvalidConfidence {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value (counts are converted to `f64`).
+        value: f64,
+    },
+    /// Task construction or model evaluation failed after validation.
+    Evaluation(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownBenchmark { index, bound } => {
+                write!(f, "unknown benchmark row {index} (catalog has {bound})")
+            }
+            ServeError::EmptyPredictiveSet => {
+                write!(f, "request names no predictive machines")
+            }
+            ServeError::PredictiveOutOfRange { index, bound } => {
+                write!(f, "predictive machine {index} out of bounds (< {bound})")
+            }
+            ServeError::InvalidRestriction { what, index, bound } => {
+                write!(
+                    f,
+                    "restriction {what} index {index} out of bounds (< {bound})"
+                )
+            }
+            ServeError::EmptyCandidates => {
+                write!(f, "restriction leaves no candidate target machines")
+            }
+            ServeError::InvalidConfidence { name, value } => {
+                write!(f, "confidence parameter {name} out of domain: {value}")
+            }
+            ServeError::Evaluation(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Evaluation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Evaluation(e)
+    }
+}
 
 /// Which predictor a request runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +182,78 @@ pub enum AppOfInterest {
     External(WorkloadCharacteristics),
 }
 
+/// Noise assumptions under which a request wants rank-confidence
+/// intervals and tie groups reported alongside its ranking.
+///
+/// The engine models measurement noise on the predicted scores:
+/// `repeats` synthetic measurements per candidate machine, each the
+/// predicted score times `exp(sigma * N(0, 1))` from a stream derived
+/// from `(request seed, machine index)` alone, then a `resamples`-replicate
+/// bootstrap over those measurements (see
+/// [`datatrans_stats::rank::bootstrap_rank_confidence`]). The whole
+/// computation is a pure function of `(request, catalog)` — independent of
+/// backing, batch composition, thread count, and cache warmth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceConfig {
+    /// Confidence level of every interval, in `(0, 1)` (default `0.95`).
+    pub level: f64,
+    /// Relative measurement-noise sigma, in `[0, 0.5]` (default `0.015`,
+    /// the SPEC run-to-run order of magnitude). `0` yields degenerate
+    /// zero-width intervals: every machine is its own tie group.
+    pub sigma: f64,
+    /// Synthetic measurements per machine, `>= 1` (default `8`).
+    pub repeats: usize,
+    /// Bootstrap replicates, `>= 1` (default `200`).
+    pub resamples: usize,
+}
+
+impl Default for ConfidenceConfig {
+    fn default() -> Self {
+        ConfidenceConfig {
+            level: 0.95,
+            sigma: 0.015,
+            repeats: 8,
+            resamples: 200,
+        }
+    }
+}
+
+impl ConfidenceConfig {
+    /// Validates every parameter against its documented domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfidence`] naming the first
+    /// offending parameter.
+    pub fn validate(&self) -> std::result::Result<(), ServeError> {
+        if !(self.level > 0.0 && self.level < 1.0) {
+            return Err(ServeError::InvalidConfidence {
+                name: "level",
+                value: self.level,
+            });
+        }
+        if !self.sigma.is_finite() || !(0.0..=0.5).contains(&self.sigma) {
+            return Err(ServeError::InvalidConfidence {
+                name: "sigma",
+                value: self.sigma,
+            });
+        }
+        if self.repeats == 0 {
+            return Err(ServeError::InvalidConfidence {
+                name: "repeats",
+                value: 0.0,
+            });
+        }
+        if self.resamples == 0 {
+            return Err(ServeError::InvalidConfidence {
+                name: "resamples",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// One ranking query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankRequest {
@@ -91,6 +270,11 @@ pub struct RankRequest {
     pub top_k: Option<usize>,
     /// Seed for the stochastic models (MLP initialization, GA).
     pub seed: u64,
+    /// When present, the response carries rank-confidence intervals and
+    /// tie groups under these noise assumptions. `None` leaves the
+    /// response (and its fingerprint) bitwise-identical to a request from
+    /// before the confidence field existed.
+    pub confidence: Option<ConfidenceConfig>,
 }
 
 /// One machine in a response's ranking.
@@ -100,6 +284,46 @@ pub struct RankedMachine {
     pub machine: usize,
     /// Predicted score of the application on this machine.
     pub predicted_score: f64,
+}
+
+/// Rank and score confidence of one ranked machine, under the request's
+/// [`ConfidenceConfig`] noise assumptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineRankCi {
+    /// Index into the database's machine list (matches the aligned
+    /// [`RankedMachine::machine`]).
+    pub machine: usize,
+    /// Fractional rank (1 = best, ties averaged) of the machine's mean
+    /// synthetic measurement. Statistically indistinguishable machines
+    /// may hold a different rank here than their slot position.
+    pub rank: f64,
+    /// Best rank the machine plausibly holds at the confidence level.
+    pub rank_lower: f64,
+    /// Worst rank the machine plausibly holds at the confidence level.
+    pub rank_upper: f64,
+    /// Lower confidence bound on the machine's measured score.
+    pub score_lower: f64,
+    /// Upper confidence bound on the machine's measured score.
+    pub score_upper: f64,
+    /// Tie group of the machine (0 = best group): machines whose score
+    /// intervals overlap share a group.
+    pub tie_group: usize,
+}
+
+/// The confidence annex of a [`RankResponse`]: per-machine rank CIs for
+/// the returned slots plus the tie-group partition of the full candidate
+/// set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankConfidenceReport {
+    /// Confidence level of every interval.
+    pub level: f64,
+    /// Per-machine confidence, aligned with [`RankResponse::ranked`]
+    /// (truncated by `top_k` the same way).
+    pub ranked: Vec<MachineRankCi>,
+    /// Tie groups over **all** candidates (not just the returned `top_k`),
+    /// best group first; members are machine indices in deterministic
+    /// best-first order.
+    pub tie_groups: Vec<Vec<usize>>,
 }
 
 /// The answer to one [`RankRequest`].
@@ -115,6 +339,9 @@ pub struct RankResponse {
     pub shards_scanned: usize,
     /// Shards the planner skipped via statistics or subset range.
     pub shards_pruned: usize,
+    /// Rank-confidence intervals and tie groups; present exactly when the
+    /// request carried a [`ConfidenceConfig`].
+    pub confidence: Option<RankConfidenceReport>,
 }
 
 /// Model budgets and the batch fan-out configuration of the serving
@@ -204,6 +431,103 @@ impl ModelCache {
     }
 }
 
+/// Validates everything about a request that could otherwise panic or
+/// poison evaluation, so `serve_with` runs on vetted inputs only.
+fn validate_request<D: DatabaseView + ?Sized>(
+    view: &D,
+    request: &RankRequest,
+) -> std::result::Result<(), ServeError> {
+    if let AppOfInterest::Suite(row) = request.app {
+        if row >= view.n_benchmarks() {
+            return Err(ServeError::UnknownBenchmark {
+                index: row,
+                bound: view.n_benchmarks(),
+            });
+        }
+    }
+    if request.predictive.is_empty() {
+        return Err(ServeError::EmptyPredictiveSet);
+    }
+    let bound = view.n_machines();
+    if let Some(&m) = request.predictive.iter().find(|&&m| m >= bound) {
+        return Err(ServeError::PredictiveOutOfRange { index: m, bound });
+    }
+    match request.restrict.validate(view) {
+        Ok(()) => {}
+        Err(DatasetError::IndexOutOfBounds { what, index, bound }) => {
+            return Err(ServeError::InvalidRestriction { what, index, bound });
+        }
+        Err(other) => return Err(ServeError::Evaluation(CoreError::Dataset(other))),
+    }
+    if let Some(confidence) = &request.confidence {
+        confidence.validate()?;
+    }
+    Ok(())
+}
+
+/// Computes the rank-confidence annex: synthesize `repeats` noisy
+/// measurements of each candidate's predicted score from per-machine
+/// streams derived from the request seed, bootstrap score/rank intervals,
+/// and map the position-space result back to machine indices.
+///
+/// Runs sequentially inside the request — the batch fan-out owns the
+/// cores — and depends only on `(request, predicted scores, target
+/// machine indices)`, so the annex inherits every determinism property of
+/// the ranking itself.
+fn confidence_report(
+    request: &RankRequest,
+    confidence: &ConfidenceConfig,
+    targets: &[usize],
+    predicted: &[f64],
+    order: &[usize],
+    k: usize,
+) -> std::result::Result<RankConfidenceReport, ServeError> {
+    let noise = NoiseConfig {
+        seed: request.seed ^ CONFIDENCE_NOISE_SEED,
+        sigma: confidence.sigma,
+        repeats: confidence.repeats,
+    };
+    let samples: Vec<Vec<f64>> = targets
+        .iter()
+        .zip(predicted)
+        .map(|(&machine, &score)| noise.measure(score, 0, machine))
+        .collect();
+    let rc = bootstrap_rank_confidence(
+        &samples,
+        confidence.resamples,
+        confidence.level,
+        request.seed ^ CONFIDENCE_BOOTSTRAP_SEED,
+        Parallelism::Sequential,
+    )
+    .map_err(|e| ServeError::Evaluation(CoreError::Stats(e)))?;
+    let ranked = order[..k]
+        .iter()
+        .map(|&pos| {
+            let item = &rc.items[pos];
+            MachineRankCi {
+                machine: targets[pos],
+                rank: item.rank,
+                rank_lower: item.rank_lower,
+                rank_upper: item.rank_upper,
+                score_lower: item.score_lower,
+                score_upper: item.score_upper,
+                tie_group: rc.ties.group_of[pos],
+            }
+        })
+        .collect();
+    let tie_groups = rc
+        .ties
+        .groups
+        .iter()
+        .map(|group| group.iter().map(|&pos| targets[pos]).collect())
+        .collect();
+    Ok(RankConfidenceReport {
+        level: confidence.level,
+        ranked,
+        tie_groups,
+    })
+}
+
 /// Serves one request against a view, using (and filling) the worker's
 /// model cache.
 fn serve_with<D: DatabaseView + ?Sized>(
@@ -211,12 +535,8 @@ fn serve_with<D: DatabaseView + ?Sized>(
     request: &RankRequest,
     config: &ServeConfig,
     cache: &mut ModelCache,
-) -> Result<RankResponse> {
-    if let Some((what, index)) = request.restrict.invalid_index(view) {
-        return Err(CoreError::invalid_task(format!(
-            "restriction references out-of-range {what} index {index}"
-        )));
-    }
+) -> std::result::Result<RankResponse, ServeError> {
+    validate_request(view, request)?;
     let plan = view.plan_machines(&request.restrict);
     let targets: Vec<usize> = plan
         .machines
@@ -225,9 +545,7 @@ fn serve_with<D: DatabaseView + ?Sized>(
         .filter(|m| !request.predictive.contains(m))
         .collect();
     if targets.is_empty() {
-        return Err(CoreError::invalid_task(
-            "restriction leaves no candidate target machines",
-        ));
+        return Err(ServeError::EmptyCandidates);
     }
     let task = match &request.app {
         AppOfInterest::Suite(app) => {
@@ -241,6 +559,17 @@ fn serve_with<D: DatabaseView + ?Sized>(
     let predicted = model.predict(&task)?;
     let ranking = Ranking::from_scores(&predicted)?;
     let k = request.top_k.unwrap_or(targets.len()).min(targets.len());
+    let confidence = match &request.confidence {
+        None => None,
+        Some(cfg) => Some(confidence_report(
+            request,
+            cfg,
+            &targets,
+            &predicted,
+            ranking.order(),
+            k,
+        )?),
+    };
     let ranked = ranking.order()[..k]
         .iter()
         .map(|&pos| RankedMachine {
@@ -254,60 +583,65 @@ fn serve_with<D: DatabaseView + ?Sized>(
         candidates: targets.len(),
         shards_scanned: plan.shards_scanned,
         shards_pruned: plan.shards_pruned,
+        confidence,
     })
 }
 
-/// Serves one request (plan → gather → predict → rank).
+/// Serves one request (validate → plan → gather → predict → rank).
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InvalidTask`] when the restriction references
-/// out-of-range indices or leaves no candidate targets, and propagates
-/// task-construction and model failures.
+/// Returns a typed [`ServeError`]: a validation variant when the request
+/// is malformed (unknown benchmark, empty or out-of-range predictive set,
+/// out-of-range restriction, empty candidate set, invalid confidence
+/// parameters), or [`ServeError::Evaluation`] when task construction or
+/// the model itself fails.
 pub fn serve_one<D: DatabaseView + ?Sized>(
     db: &D,
     request: &RankRequest,
     config: &ServeConfig,
-) -> Result<RankResponse> {
+) -> std::result::Result<RankResponse, ServeError> {
     let mut cache = ModelCache::default();
     serve_with(db, request, config, &mut cache)
 }
 
 /// Serves a batch of requests in one pass over the persistent worker
-/// pool, returning responses in request order.
+/// pool, returning one `Result` per request in request order.
+///
+/// **Fault-isolated**: each request validates and evaluates into its own
+/// slot, so a malformed request yields a typed [`ServeError`] in its slot
+/// while every other slot carries its correct response — one bad request
+/// can neither poison nor panic the batch, on either backing at any
+/// thread count.
 ///
 /// Each worker checks out a per-worker [`DatabaseView::reader`] handle and
 /// a model cache as scratch; requests are otherwise independent, so the
-/// response vector is bitwise-identical at any thread count and under any
-/// batch permutation (permuting requests permutes responses identically).
-///
-/// # Errors
-///
-/// Returns the first failing request's error (in request order), same
-/// conditions as [`serve_one`].
+/// result vector is bitwise-identical at any thread count and under any
+/// batch permutation (permuting requests permutes results identically).
 pub fn serve_batch<D: DatabaseView + ?Sized>(
     db: &D,
     requests: &[RankRequest],
     config: &ServeConfig,
-) -> Result<Vec<RankResponse>> {
-    let results: Vec<Result<RankResponse>> = config.parallelism.par_map_with(
+) -> Vec<std::result::Result<RankResponse, ServeError>> {
+    config.parallelism.par_map_with(
         2,
         requests,
         || (db.reader(), ModelCache::default()),
         |(reader, cache), request| serve_with(reader, request, config, cache),
-    );
-    results.into_iter().collect()
+    )
 }
 
-/// The answer to one cached batch: responses in request order plus what
-/// the cache did for this batch.
+/// The answer to one cached batch: per-request results in request order
+/// plus what the cache did for this batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedBatch {
-    /// Responses, in request order.
-    pub responses: Vec<RankResponse>,
+    /// Per-request results, in request order (fault-isolated exactly like
+    /// [`serve_batch`]).
+    pub responses: Vec<std::result::Result<RankResponse, ServeError>>,
     /// Requests answered from the cache.
     pub hits: u64,
-    /// Requests that fell through to evaluation.
+    /// Requests that fell through to evaluation (successful or not —
+    /// failed slots are never inserted, so they miss again next batch).
     pub misses: u64,
     /// Entries dropped because the catalog version moved since the cache
     /// last served.
@@ -328,38 +662,40 @@ pub struct CachedBatch {
 /// last insert wins and nothing changes); the first hit is only possible
 /// on the *next* batch.
 ///
-/// # Errors
-///
-/// Same conditions as [`serve_batch`]. On error the cache keeps its
-/// resident entries but no response from the failing batch is inserted.
+/// Fault isolation matches [`serve_batch`]: a malformed request occupies
+/// its slot with a typed [`ServeError`], counts as a miss, and is never
+/// inserted into the cache, so errors cannot displace resident responses.
 pub fn serve_batch_cached<D: DatabaseView + ?Sized>(
     db: &D,
     requests: &[RankRequest],
     config: &ServeConfig,
     cache: &mut ResultCache,
-) -> Result<CachedBatch> {
+) -> CachedBatch {
     let invalidations = cache.sync_version(db.catalog_version());
     let fingerprints: Vec<RequestFingerprint> =
         requests.iter().map(RequestFingerprint::of).collect();
-    let mut slots: Vec<Option<RankResponse>> = Vec::with_capacity(requests.len());
+    let mut slots: Vec<Option<std::result::Result<RankResponse, ServeError>>> =
+        Vec::with_capacity(requests.len());
     let mut miss_indices = Vec::new();
     for (i, request) in requests.iter().enumerate() {
         let cached = cache.lookup(fingerprints[i], request);
         if cached.is_none() {
             miss_indices.push(i);
         }
-        slots.push(cached);
+        slots.push(cached.map(Ok));
     }
     let hits = (requests.len() - miss_indices.len()) as u64;
     let misses = miss_indices.len() as u64;
     let miss_requests: Vec<RankRequest> =
         miss_indices.iter().map(|&i| requests[i].clone()).collect();
-    let fresh = serve_batch(db, &miss_requests, config)?;
-    for (&i, response) in miss_indices.iter().zip(&fresh) {
-        cache.insert(fingerprints[i], &requests[i], response);
-        slots[i] = Some(response.clone());
+    let fresh = serve_batch(db, &miss_requests, config);
+    for (&i, result) in miss_indices.iter().zip(fresh) {
+        if let Ok(response) = &result {
+            cache.insert(fingerprints[i], &requests[i], response);
+        }
+        slots[i] = Some(result);
     }
-    Ok(CachedBatch {
+    CachedBatch {
         responses: slots
             .into_iter()
             .map(|slot| slot.expect("every slot is a hit or a filled miss"))
@@ -367,7 +703,7 @@ pub fn serve_batch_cached<D: DatabaseView + ?Sized>(
         hits,
         misses,
         invalidations,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +739,7 @@ mod tests {
             restrict: MachineFilter::family(ProcessorFamily::Xeon),
             top_k: Some(5),
             seed: 7,
+            confidence: None,
         };
         let response = serve_one(&db, &request, &quick()).unwrap();
         assert_eq!(response.method, "NN^T");
@@ -429,6 +766,7 @@ mod tests {
             restrict: MachineFilter::family(ProcessorFamily::Xeon),
             top_k: None,
             seed: 1,
+            confidence: None,
         };
         let response = serve_one(&db, &request, &quick()).unwrap();
         assert_eq!(response.candidates, xeons.len() - 2);
@@ -447,6 +785,7 @@ mod tests {
             restrict: MachineFilter::years(2008, 2009),
             top_k: Some(3),
             seed: 9,
+            confidence: None,
         };
         let response = serve_one(&db, &request, &quick()).unwrap();
         assert_eq!(response.method, "MLP^T");
@@ -457,35 +796,147 @@ mod tests {
         }
     }
 
-    #[test]
-    fn empty_candidate_set_is_an_error() {
-        let db = generate(&DatasetConfig::default()).unwrap();
-        let request = RankRequest {
+    fn base_request() -> RankRequest {
+        RankRequest {
             app: AppOfInterest::Suite(0),
             model: ModelKind::NnT,
             predictive: vec![0],
-            restrict: MachineFilter::years(1980, 1981),
+            restrict: MachineFilter::all(),
             top_k: None,
             seed: 0,
-        };
-        assert!(matches!(
-            serve_one(&db, &request, &quick()),
-            Err(CoreError::InvalidTask { .. })
-        ));
+            confidence: None,
+        }
     }
 
     #[test]
-    fn invalid_restriction_index_is_an_error() {
+    fn empty_candidate_set_is_a_typed_error() {
         let db = generate(&DatasetConfig::default()).unwrap();
         let request = RankRequest {
-            app: AppOfInterest::Suite(0),
-            model: ModelKind::NnT,
-            predictive: vec![0],
-            restrict: MachineFilter::all().with_min_score(999, 1.0),
-            top_k: None,
-            seed: 0,
+            restrict: MachineFilter::years(1980, 1981),
+            ..base_request()
         };
-        assert!(serve_one(&db, &request, &quick()).is_err());
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::EmptyCandidates)
+        );
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            app: AppOfInterest::Suite(29),
+            ..base_request()
+        };
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::UnknownBenchmark {
+                index: 29,
+                bound: 29
+            })
+        );
+    }
+
+    #[test]
+    fn empty_predictive_set_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            predictive: vec![],
+            ..base_request()
+        };
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::EmptyPredictiveSet)
+        );
+    }
+
+    #[test]
+    fn out_of_range_predictive_machine_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            predictive: vec![0, 117],
+            ..base_request()
+        };
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::PredictiveOutOfRange {
+                index: 117,
+                bound: 117
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_restriction_index_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            restrict: MachineFilter::all().with_min_score(999, 1.0),
+            ..base_request()
+        };
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::InvalidRestriction {
+                what: "min_score benchmark",
+                index: 999,
+                bound: 29
+            })
+        );
+        let request = RankRequest {
+            restrict: MachineFilter::all().with_subset(vec![5, 400]),
+            ..base_request()
+        };
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::InvalidRestriction {
+                what: "subset machine",
+                index: 400,
+                bound: 117
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_confidence_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        for (confidence, name) in [
+            (
+                ConfidenceConfig {
+                    level: 1.0,
+                    ..ConfidenceConfig::default()
+                },
+                "level",
+            ),
+            (
+                ConfidenceConfig {
+                    sigma: 0.9,
+                    ..ConfidenceConfig::default()
+                },
+                "sigma",
+            ),
+            (
+                ConfidenceConfig {
+                    repeats: 0,
+                    ..ConfidenceConfig::default()
+                },
+                "repeats",
+            ),
+            (
+                ConfidenceConfig {
+                    resamples: 0,
+                    ..ConfidenceConfig::default()
+                },
+                "resamples",
+            ),
+        ] {
+            let request = RankRequest {
+                confidence: Some(confidence),
+                ..base_request()
+            };
+            match serve_one(&db, &request, &quick()) {
+                Err(ServeError::InvalidConfidence { name: got, .. }) => assert_eq!(got, name),
+                other => panic!("expected InvalidConfidence for {name}, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -505,11 +956,13 @@ mod tests {
             restrict: MachineFilter::family(family),
             top_k: Some(4),
             seed: i as u64,
+            confidence: None,
         })
         .collect();
-        let batch = serve_batch(&db, &requests, &quick()).unwrap();
+        let batch = serve_batch(&db, &requests, &quick());
         assert_eq!(batch.len(), requests.len());
-        for (request, response) in requests.iter().zip(&batch) {
+        for (request, result) in requests.iter().zip(&batch) {
+            let response = result.as_ref().unwrap();
             assert_eq!(response, &serve_one(&db, request, &quick()).unwrap());
         }
     }
@@ -525,6 +978,7 @@ mod tests {
             restrict: MachineFilter::family(ProcessorFamily::Xeon),
             top_k: Some(5),
             seed: 7,
+            confidence: None,
         };
         let dense_response = serve_one(&db, &request, &quick()).unwrap();
         let sharded_response = serve_one(&sharded, &request, &quick()).unwrap();
@@ -548,17 +1002,19 @@ mod tests {
                 restrict: MachineFilter::all(),
                 top_k: Some(4),
                 seed: i as u64,
+                confidence: None,
             })
             .collect();
-        let cold = serve_batch(&db, &requests, &quick()).unwrap();
+        let cold = serve_batch(&db, &requests, &quick());
         let mut cache = crate::cache::ResultCache::new(8);
-        let first = serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        let first = serve_batch_cached(&db, &requests, &quick(), &mut cache);
         assert_eq!(first.responses, cold);
         assert_eq!((first.hits, first.misses), (0, 3));
-        let second = serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        let second = serve_batch_cached(&db, &requests, &quick(), &mut cache);
         assert_eq!(second.responses, cold);
         assert_eq!((second.hits, second.misses), (3, 0));
         for (a, b) in cold.iter().zip(&second.responses) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             for (x, y) in a.ranked.iter().zip(&b.ranked) {
                 assert_eq!(x.predicted_score.to_bits(), y.predicted_score.to_bits());
             }
@@ -576,33 +1032,140 @@ mod tests {
             restrict: MachineFilter::all(),
             top_k: Some(4),
             seed: 1,
+            confidence: None,
         }];
         let mut cache = crate::cache::ResultCache::new(8);
-        serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        serve_batch_cached(&db, &requests, &quick(), &mut cache);
         let batch = synthesize_ingest(3, db.benchmarks(), 2, 0.015).unwrap();
         db.push_machines(&batch).unwrap();
-        let after = serve_batch_cached(&db, &requests, &quick(), &mut cache).unwrap();
+        let after = serve_batch_cached(&db, &requests, &quick(), &mut cache);
         assert_eq!((after.hits, after.misses, after.invalidations), (0, 1, 1));
         // The unrestricted candidate set grew with the catalog.
-        assert_eq!(after.responses[0].candidates, 117 + 2 - 3);
+        assert_eq!(after.responses[0].as_ref().unwrap().candidates, 117 + 2 - 3);
     }
 
     #[test]
-    fn batch_error_reports_first_failing_request() {
+    fn cached_batch_never_caches_errors() {
         let db = generate(&DatasetConfig::default()).unwrap();
         let good = RankRequest {
-            app: AppOfInterest::Suite(0),
-            model: ModelKind::NnT,
             predictive: vec![0, 30],
-            restrict: MachineFilter::all(),
+            top_k: Some(2),
+            ..base_request()
+        };
+        let bad = RankRequest {
+            app: AppOfInterest::Suite(999),
+            ..good.clone()
+        };
+        let requests = vec![good.clone(), bad.clone()];
+        let mut cache = crate::cache::ResultCache::new(8);
+        let first = serve_batch_cached(&db, &requests, &quick(), &mut cache);
+        assert_eq!((first.hits, first.misses), (0, 2));
+        assert!(first.responses[0].is_ok());
+        assert!(matches!(
+            first.responses[1],
+            Err(ServeError::UnknownBenchmark { .. })
+        ));
+        // The good slot hits on re-serve; the bad one misses again
+        // (errors are never inserted) and fails identically.
+        let second = serve_batch_cached(&db, &requests, &quick(), &mut cache);
+        assert_eq!((second.hits, second.misses), (1, 1));
+        assert_eq!(second.responses, first.responses);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn batch_isolates_malformed_requests_per_slot() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let good = RankRequest {
+            predictive: vec![0, 30],
             top_k: Some(1),
-            seed: 0,
+            ..base_request()
         };
         let bad = RankRequest {
             restrict: MachineFilter::years(1980, 1981),
             ..good.clone()
         };
-        assert!(serve_batch(&db, &[good.clone(), bad], &quick()).is_err());
-        assert!(serve_batch(&db, &[good.clone(), good], &quick()).is_ok());
+        let results = serve_batch(&db, &[good.clone(), bad, good.clone()], &quick());
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[1], Err(ServeError::EmptyCandidates));
+        let solo = serve_one(&db, &good, &quick()).unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &solo);
+        assert_eq!(results[2].as_ref().unwrap(), &solo);
+    }
+
+    #[test]
+    fn confidence_annex_is_present_and_aligned() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            predictive: vec![0, 30, 60],
+            restrict: MachineFilter::family(ProcessorFamily::Xeon),
+            top_k: Some(5),
+            seed: 7,
+            confidence: Some(ConfidenceConfig {
+                resamples: 60,
+                ..ConfidenceConfig::default()
+            }),
+            ..base_request()
+        };
+        let response = serve_one(&db, &request, &quick()).unwrap();
+        let annex = response.confidence.as_ref().expect("annex requested");
+        assert_eq!(annex.level, 0.95);
+        assert_eq!(annex.ranked.len(), response.ranked.len());
+        for (slot, ci) in response.ranked.iter().zip(&annex.ranked) {
+            assert_eq!(slot.machine, ci.machine);
+            assert!(ci.rank_lower <= ci.rank && ci.rank <= ci.rank_upper);
+            assert!(ci.rank_lower >= 1.0);
+            assert!(ci.rank_upper <= response.candidates as f64);
+            assert!(ci.score_lower <= ci.score_upper);
+            assert!(ci.tie_group < annex.tie_groups.len());
+        }
+        // Tie groups partition the full candidate set.
+        let total: usize = annex.tie_groups.iter().map(Vec::len).sum();
+        assert_eq!(total, response.candidates);
+        // The same request without confidence yields the same ranking,
+        // bitwise, with no annex.
+        let plain = serve_one(
+            &db,
+            &RankRequest {
+                confidence: None,
+                ..request.clone()
+            },
+            &quick(),
+        )
+        .unwrap();
+        assert!(plain.confidence.is_none());
+        assert_eq!(plain.ranked, response.ranked);
+    }
+
+    #[test]
+    fn confidence_annex_is_deterministic() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            predictive: vec![0, 30, 60],
+            top_k: Some(8),
+            seed: 11,
+            confidence: Some(ConfidenceConfig {
+                resamples: 50,
+                ..ConfidenceConfig::default()
+            }),
+            ..base_request()
+        };
+        let a = serve_one(&db, &request, &quick()).unwrap();
+        let b = serve_one(&db, &request, &quick()).unwrap();
+        assert_eq!(a, b);
+        // A different request seed moves the annex (different noise draws).
+        let c = serve_one(
+            &db,
+            &RankRequest {
+                seed: 12,
+                ..request.clone()
+            },
+            &quick(),
+        )
+        .unwrap();
+        assert_ne!(
+            a.confidence.as_ref().unwrap().ranked,
+            c.confidence.as_ref().unwrap().ranked
+        );
     }
 }

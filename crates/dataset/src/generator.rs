@@ -8,6 +8,7 @@ use crate::catalog::{build_machines, build_scaled_machines};
 use crate::database::{MachineIngest, PerfDatabase};
 use crate::machine::Machine;
 use crate::perf_model::spec_ratio;
+use crate::view::DatabaseView;
 use crate::{DatasetError, Result};
 
 /// Configuration of the dataset generator.
@@ -267,6 +268,159 @@ pub fn synthesize_ingest(
         .collect())
 }
 
+/// Measurement-noise model for robustness studies.
+///
+/// Models run-to-run variation of a benchmark score as multiplicative
+/// lognormal noise: a measurement of a clean score `s` is
+/// `s * exp(sigma * N(0, 1))`. Every `(benchmark, machine)` cell owns its
+/// own RNG stream derived from `(seed, benchmark, machine)` alone — like
+/// [`synthesize_ingest`]'s per-entry streams, the draws are **independent
+/// of how the catalog is split**: measuring a subset of machines, a single
+/// cell, or the whole matrix yields bitwise-identical values for the cells
+/// in common. With `sigma = 0` no RNG is consulted at all and every
+/// measurement is bitwise-identical to the clean score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Master seed; every cell's measurement stream is a pure function of
+    /// `(seed, benchmark, machine)`.
+    pub seed: u64,
+    /// Standard deviation of the multiplicative lognormal noise, in
+    /// `[0, 0.5]`. SPEC run-to-run variation is on the order of 1–2%.
+    pub sigma: f64,
+    /// Measurements synthesized per cell (`>= 1`).
+    pub repeats: usize,
+}
+
+impl NoiseConfig {
+    /// The noiseless model: `sigma = 0`, one measurement per cell.
+    /// Measuring with it reproduces the clean scores bit for bit.
+    pub fn clean() -> Self {
+        NoiseConfig {
+            seed: 0,
+            sigma: 0.0,
+            repeats: 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `sigma` is outside
+    /// `[0, 0.5]` or `repeats` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if !self.sigma.is_finite() || !(0.0..=0.5).contains(&self.sigma) {
+            return Err(DatasetError::InvalidConfig {
+                name: "sigma",
+                value: self.sigma.to_string(),
+            });
+        }
+        if self.repeats == 0 {
+            return Err(DatasetError::InvalidConfig {
+                name: "repeats",
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Seed of cell `(b, m)`'s measurement stream — a pure function of
+    /// `(self.seed, b, m)`, which is what makes the model split-invariant.
+    fn cell_seed(&self, b: usize, m: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add((b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((m as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+    }
+
+    /// Synthesizes `repeats` measurements of cell `(b, m)` whose clean
+    /// score is `clean`. With `sigma = 0` the clean score is repeated
+    /// bitwise, with no RNG draws.
+    pub fn measure(&self, clean: f64, b: usize, m: usize) -> Vec<f64> {
+        if self.sigma == 0.0 {
+            return vec![clean; self.repeats];
+        }
+        let mut rng = StdRng::seed_from_u64(self.cell_seed(b, m));
+        (0..self.repeats)
+            .map(|_| clean * (self.sigma * gaussian(&mut rng)).exp())
+            .collect()
+    }
+
+    /// A single perturbed measurement of cell `(b, m)`: the first draw of
+    /// the cell's stream, or `clean` itself bitwise when `sigma = 0`.
+    pub fn perturb(&self, clean: f64, b: usize, m: usize) -> f64 {
+        if self.sigma == 0.0 {
+            return clean;
+        }
+        let mut rng = StdRng::seed_from_u64(self.cell_seed(b, m));
+        clean * (self.sigma * gaussian(&mut rng)).exp()
+    }
+}
+
+/// Synthesizes repeated measurements of benchmark row `app` on each of
+/// `machines`, one `Vec` of [`NoiseConfig::repeats`] measurements per
+/// machine in input order.
+///
+/// Split-invariant: the measurements of a machine depend only on
+/// `(noise.seed, app, machine)`, never on which other machines are in the
+/// slice.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] on an invalid noise model, or
+/// [`DatasetError::IndexOutOfBounds`] if `app` or any machine index is out
+/// of range.
+pub fn synthesize_measurements<D: DatabaseView + ?Sized>(
+    db: &D,
+    app: usize,
+    machines: &[usize],
+    noise: &NoiseConfig,
+) -> Result<Vec<Vec<f64>>> {
+    noise.validate()?;
+    if app >= db.n_benchmarks() {
+        return Err(DatasetError::IndexOutOfBounds {
+            what: "benchmark",
+            index: app,
+            bound: db.n_benchmarks(),
+        });
+    }
+    let bound = db.n_machines();
+    machines
+        .iter()
+        .map(|&m| {
+            if m >= bound {
+                return Err(DatasetError::IndexOutOfBounds {
+                    what: "machine",
+                    index: m,
+                    bound,
+                });
+            }
+            Ok(noise.measure(db.score(app, m), app, m))
+        })
+        .collect()
+}
+
+/// Applies one perturbed measurement per cell to a whole catalog,
+/// returning a new database over the same benchmarks and machines.
+///
+/// With `noise.sigma = 0` the perturbed catalog is bitwise-identical to
+/// the input (the robustness baseline); otherwise cell `(b, m)` is
+/// replaced by the first draw of its measurement stream.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] on an invalid noise model.
+pub fn perturb_database(db: &PerfDatabase, noise: &NoiseConfig) -> Result<PerfDatabase> {
+    noise.validate()?;
+    let mut scores = Vec::with_capacity(db.n_benchmarks() * db.n_machines());
+    for b in 0..db.n_benchmarks() {
+        for m in 0..db.n_machines() {
+            scores.push(noise.perturb(db.score(b, m), b, m));
+        }
+    }
+    PerfDatabase::new(db.benchmarks().to_vec(), db.machines().to_vec(), scores)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +576,118 @@ mod tests {
                 assert!(s.is_finite() && s > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn zero_sigma_perturbation_is_bitwise_identity() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let noise = NoiseConfig {
+            seed: 99,
+            sigma: 0.0,
+            repeats: 3,
+        };
+        let perturbed = perturb_database(&db, &noise).unwrap();
+        for b in 0..db.n_benchmarks() {
+            for m in 0..db.n_machines() {
+                assert_eq!(db.score(b, m).to_bits(), perturbed.score(b, m).to_bits());
+            }
+        }
+        // Repeated measurements of a cell are the clean score, bitwise.
+        let reps = noise.measure(db.score(3, 7), 3, 7);
+        assert_eq!(reps.len(), 3);
+        assert!(reps.iter().all(|r| r.to_bits() == db.score(3, 7).to_bits()));
+    }
+
+    #[test]
+    fn noise_streams_are_split_invariant() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let noise = NoiseConfig {
+            seed: 7,
+            sigma: 0.05,
+            repeats: 4,
+        };
+        let all: Vec<usize> = (0..db.n_machines()).collect();
+        let whole = synthesize_measurements(&db, 2, &all, &noise).unwrap();
+        // A subset, in a different order, reproduces the same cells bitwise.
+        let subset = [40usize, 3, 99];
+        let partial = synthesize_measurements(&db, 2, &subset, &noise).unwrap();
+        for (slot, &m) in subset.iter().enumerate() {
+            let a: Vec<u64> = whole[m].iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = partial[slot].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "machine {m} diverged between splits");
+        }
+        // The perturbed catalog's cell equals the first measurement.
+        let perturbed = perturb_database(&db, &noise).unwrap();
+        assert_eq!(
+            perturbed.score(2, 40).to_bits(),
+            whole[40][0].to_bits(),
+            "perturbation is not the first draw of the cell stream"
+        );
+    }
+
+    #[test]
+    fn noise_perturbation_is_small_and_cellwise() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let noise = NoiseConfig {
+            seed: 11,
+            sigma: 0.02,
+            repeats: 1,
+        };
+        let perturbed = perturb_database(&db, &noise).unwrap();
+        let mut changed = 0;
+        for b in 0..db.n_benchmarks() {
+            for m in 0..db.n_machines() {
+                let rel = (perturbed.score(b, m) / db.score(b, m)).ln().abs();
+                assert!(rel < 0.2, "noise too large: {rel}");
+                if perturbed.score(b, m) != db.score(b, m) {
+                    changed += 1;
+                }
+            }
+        }
+        // Essentially every cell moves (a gaussian draw of exactly 0.0 is
+        // vanishingly unlikely).
+        assert!(changed > db.n_benchmarks() * db.n_machines() / 2);
+    }
+
+    #[test]
+    fn noise_config_validates() {
+        assert!(NoiseConfig::clean().validate().is_ok());
+        assert!(NoiseConfig {
+            seed: 1,
+            sigma: 0.9,
+            repeats: 1
+        }
+        .validate()
+        .is_err());
+        assert!(NoiseConfig {
+            seed: 1,
+            sigma: f64::NAN,
+            repeats: 1
+        }
+        .validate()
+        .is_err());
+        assert!(NoiseConfig {
+            seed: 1,
+            sigma: 0.01,
+            repeats: 0
+        }
+        .validate()
+        .is_err());
+        let db = generate(&DatasetConfig::default()).unwrap();
+        // Out-of-range rows and machines are typed errors, not panics.
+        assert!(matches!(
+            synthesize_measurements(&db, 999, &[0], &NoiseConfig::clean()),
+            Err(DatasetError::IndexOutOfBounds {
+                what: "benchmark",
+                ..
+            })
+        ));
+        assert!(matches!(
+            synthesize_measurements(&db, 0, &[db.n_machines()], &NoiseConfig::clean()),
+            Err(DatasetError::IndexOutOfBounds {
+                what: "machine",
+                ..
+            })
+        ));
     }
 }

@@ -21,6 +21,7 @@ use datatrans_linalg::Matrix;
 
 use crate::machine::{Machine, ProcessorFamily};
 use crate::view::DatabaseView;
+use crate::DatasetError;
 
 /// A conjunction of restrictions on the machine set.
 ///
@@ -125,24 +126,48 @@ impl MachineFilter {
             && self.year_max.is_none_or(|max| machine.year <= max)
     }
 
-    /// Validates index clauses against a database's dimensions.
+    /// Validates index clauses against a database's dimensions, so that
+    /// [`MachineFilter::matches`] and [`scan_machines`] cannot panic on a
+    /// filter that passed.
     ///
-    /// Returns the first offending clause as `(clause name, index)`, or
-    /// `None` when every referenced index is in bounds.
-    pub fn invalid_index<D: DatabaseView + ?Sized>(&self, db: &D) -> Option<(&'static str, usize)> {
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::IndexOutOfBounds`] naming the first
+    /// offending clause: a `min_score` benchmark row at or past
+    /// `n_benchmarks`, or a `subset` machine at or past `n_machines`.
+    pub fn validate<D: DatabaseView + ?Sized>(&self, db: &D) -> crate::Result<()> {
         if let Some((b, _)) = self.min_score {
             if b >= db.n_benchmarks() {
-                return Some(("min_score benchmark", b));
+                return Err(DatasetError::IndexOutOfBounds {
+                    what: "min_score benchmark",
+                    index: b,
+                    bound: db.n_benchmarks(),
+                });
             }
         }
         if let Some(subset) = &self.subset {
-            for &m in subset {
-                if m >= db.n_machines() {
-                    return Some(("subset machine", m));
-                }
+            let bound = db.n_machines();
+            if let Some(&m) = subset.iter().find(|&&m| m >= bound) {
+                return Err(DatasetError::IndexOutOfBounds {
+                    what: "subset machine",
+                    index: m,
+                    bound,
+                });
             }
         }
-        None
+        Ok(())
+    }
+
+    /// Validates index clauses against a database's dimensions.
+    ///
+    /// Returns the first offending clause as `(clause name, index)`, or
+    /// `None` when every referenced index is in bounds. [`MachineFilter::validate`]
+    /// is the typed-error form of the same check.
+    pub fn invalid_index<D: DatabaseView + ?Sized>(&self, db: &D) -> Option<(&'static str, usize)> {
+        match self.validate(db) {
+            Err(DatasetError::IndexOutOfBounds { what, index, .. }) => Some((what, index)),
+            _ => None,
+        }
     }
 }
 
@@ -408,6 +433,46 @@ mod tests {
                 .with_subset(vec![0, 400])
                 .invalid_index(&db),
             Some(("subset machine", 400))
+        );
+    }
+
+    #[test]
+    fn validate_accepts_in_bounds_clauses() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        assert!(MachineFilter::all().validate(&db).is_ok());
+        assert!(MachineFilter::family(ProcessorFamily::Xeon)
+            .with_years(2004, 2010)
+            .with_min_score(28, 1.0)
+            .with_subset(vec![0, 116])
+            .validate(&db)
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_min_score_row() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        assert_eq!(
+            MachineFilter::all().with_min_score(29, 1.0).validate(&db),
+            Err(DatasetError::IndexOutOfBounds {
+                what: "min_score benchmark",
+                index: 29,
+                bound: 29,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_subset_machine() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        assert_eq!(
+            MachineFilter::all()
+                .with_subset(vec![3, 117, 500])
+                .validate(&db),
+            Err(DatasetError::IndexOutOfBounds {
+                what: "subset machine",
+                index: 117,
+                bound: 117,
+            })
         );
     }
 

@@ -9,11 +9,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use datatrans_experiments::{
-    ablation, fig6, fig7, fig8, serve, table2, table3, table4, ExperimentConfig,
+    ablation, fig6, fig7, fig8, robustness, serve, table2, table3, table4, ExperimentConfig,
 };
 
 fn usage() -> &'static str {
-    "usage: repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|diag|all]\n\
+    "usage: repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|robustness|diag|all]\n\
      \n\
      --quick     reduced budgets (fewer apps/trials/epochs) for a fast pass\n\
      --seed N    dataset + experiment seed (default: paper-run seed)\n\
@@ -24,7 +24,10 @@ fn usage() -> &'static str {
                  batch) and report cache hit/miss/invalidation counts\n\
      \n\
      serve       drive the batched ranking-query engine under a synthetic\n\
-                 request mix (combine with --shards N to see shard pruning)\n"
+                 request mix (combine with --shards N to see shard pruning)\n\
+     robustness  sweep measurement noise over the catalog and report each\n\
+                 model's rank-correlation-vs-noise curve (dense and\n\
+                 sharded backings verified bitwise-identical)\n"
 }
 
 fn main() -> ExitCode {
@@ -78,6 +81,7 @@ fn main() -> ExitCode {
             "fig8" => fig8::run(&config).map(|r| println!("{r}")),
             "ablation" => ablation::run(&config).map(|r| println!("{r}")),
             "serve" => serve::run(&config).map(|r| println!("{r}")),
+            "robustness" => robustness::run(&config).map(|r| println!("{r}")),
             "diag" => diagnose(&config),
             "all" => run_all(&config),
             other => {

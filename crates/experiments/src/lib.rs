@@ -12,8 +12,11 @@
 //!
 //! Beyond the paper, [`ablation`] sweeps the design choices DESIGN.md
 //! calls out (MLP width/epochs/domain, NNᵀ selection criterion, GA-kNN k),
-//! and [`serve`] drives the concurrent ranking-query engine (shard-pruned
-//! planning + batched prediction) under a synthetic request mix.
+//! [`serve`] drives the concurrent ranking-query engine (shard-pruned
+//! planning + batched prediction) under a synthetic request mix, and
+//! [`robustness`] sweeps measurement noise over the catalog to produce
+//! perturbation-robustness curves (rank correlation of each model's
+//! served ranking vs noise level, dense and sharded).
 //!
 //! Each module exposes `run(&ExperimentConfig) -> Result<...Result>` whose
 //! output implements `Display`, printing rows in the paper's format. The
@@ -28,6 +31,7 @@ pub mod config;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod robustness;
 pub mod serve;
 pub mod table2;
 pub mod table3;

@@ -19,7 +19,9 @@ use std::time::Instant;
 use datatrans_core::cache::ResultCache;
 use datatrans_core::serve::{
     serve_batch_cached, AppOfInterest, CachedBatch, ModelKind, RankRequest, RankResponse,
+    ServeError,
 };
+use datatrans_core::CoreError;
 use datatrans_dataset::generator::synthesize_ingest;
 use datatrans_dataset::machine::ProcessorFamily;
 use datatrans_dataset::query::MachineFilter;
@@ -118,6 +120,7 @@ pub fn synth_requests<D: DatabaseView + ?Sized>(
             seed: seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(i as u64),
+            confidence: None,
         });
     }
     (requests, labels)
@@ -145,13 +148,22 @@ pub fn run(config: &ExperimentConfig) -> Result<ServeResult> {
         misses += batch.misses;
         invalidations += batch.invalidations;
     };
+    // The synthetic mix is valid by construction, so any per-slot error
+    // is a driver bug worth surfacing as a hard failure.
+    let respond = |batch: CachedBatch| -> Result<Vec<RankResponse>> {
+        batch
+            .responses
+            .into_iter()
+            .collect::<std::result::Result<Vec<_>, ServeError>>()
+            .map_err(|e| CoreError::invalid_task(format!("synthetic request failed: {e}")))
+    };
     let started = Instant::now();
-    let cold = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache)?;
+    let cold = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache);
     absorb(&cold);
     let (responses, ingested_machines) = if config.serve_ingest {
         // Warm pass: the same batch again, answered entirely from the
         // cache (bitwise-identical to the cold responses).
-        let warm = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache)?;
+        let warm = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache);
         absorb(&warm);
         debug_assert_eq!(warm.responses, cold.responses);
         // Streaming ingest: push new machines, bumping the catalog
@@ -164,11 +176,11 @@ pub fn run(config: &ExperimentConfig) -> Result<ServeResult> {
             config.dataset.noise_sigma,
         )?;
         backing.push_machines(&ingest)?;
-        let post = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache)?;
+        let post = serve_batch_cached(backing.view(), &requests, &serve_config, &mut cache);
         absorb(&post);
-        (post.responses, ingest.len())
+        (respond(post)?, ingest.len())
     } else {
-        (cold.responses, 0)
+        (respond(cold)?, 0)
     };
     let elapsed_secs = started.elapsed().as_secs_f64();
     Ok(ServeResult {

@@ -56,10 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 restrict: restrict.clone(),
                 top_k: Some(5),
                 seed: 77,
+                confidence: None,
             });
         }
     }
-    let responses = serve_batch(&sharded, &requests, &ServeConfig::default())?;
+    // The batch is fault-isolated per slot; this mix is valid by
+    // construction, so any per-slot error is a hard failure here.
+    let responses = serve_batch(&sharded, &requests, &ServeConfig::default())
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
 
     println!(
         "\n{:<16} {:<10} {:<34} {:>12} {:>10}",
@@ -115,8 +120,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         restrict: MachineFilter::family(ProcessorFamily::Xeon).with_years(2008, u16::MAX),
         top_k: Some(3),
         seed: 77,
+        confidence: None,
     };
-    let response = &serve_batch(&sharded, &[xeon_only], &ServeConfig::default())?[0];
+    let response = serve_batch(&sharded, &[xeon_only], &ServeConfig::default())
+        .pop()
+        .expect("one slot")?;
+    let response = &response;
     println!(
         "\nXeon-only shortlist (server-integer, NN^T): {} candidates, \
          {} of 8 shards pruned by family statistics",

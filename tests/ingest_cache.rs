@@ -14,8 +14,8 @@
 use datatrans::core::cache::ResultCache;
 use datatrans::core::fingerprint::RequestFingerprint;
 use datatrans::core::serve::{
-    serve_batch, serve_batch_cached, AppOfInterest, ModelKind, RankRequest, RankResponse,
-    ServeConfig,
+    serve_batch, serve_batch_cached, AppOfInterest, ConfidenceConfig, ModelKind, RankRequest,
+    RankResponse, ServeConfig, ServeError,
 };
 use datatrans::dataset::database::{MachineIngest, PerfDatabase};
 use datatrans::dataset::generator::{
@@ -36,8 +36,17 @@ fn quick_config(parallelism: Parallelism) -> ServeConfig {
     }
 }
 
+/// Unwraps a fault-isolated batch in which every slot must have served.
+fn ok_all(slots: Vec<Result<RankResponse, ServeError>>, what: &str) -> Vec<RankResponse> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|e| panic!("{what}: slot {i} failed: {e}")))
+        .collect()
+}
+
 /// Bitwise comparison of two response slices: every field, scores by bit
-/// pattern.
+/// pattern, including the optional rank-confidence annex.
 fn assert_responses_bitwise_eq(a: &[RankResponse], b: &[RankResponse], what: &str) {
     assert_eq!(a.len(), b.len(), "{what}: response count");
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
@@ -51,6 +60,35 @@ fn assert_responses_bitwise_eq(a: &[RankResponse], b: &[RankResponse], what: &st
                 s.predicted_score.to_bits(),
                 "{what}: response {i} rank {j} score"
             );
+        }
+        match (&x.confidence, &y.confidence) {
+            (None, None) => {}
+            (Some(cx), Some(cy)) => {
+                assert_eq!(
+                    cx.level.to_bits(),
+                    cy.level.to_bits(),
+                    "{what}: response {i} confidence level"
+                );
+                assert_eq!(
+                    cx.tie_groups, cy.tie_groups,
+                    "{what}: response {i} tie groups"
+                );
+                assert_eq!(cx.ranked.len(), cy.ranked.len(), "{what}: response {i}");
+                for (j, (u, v)) in cx.ranked.iter().zip(&cy.ranked).enumerate() {
+                    assert_eq!(u.machine, v.machine, "{what}: ci {i}.{j} machine");
+                    assert_eq!(u.tie_group, v.tie_group, "{what}: ci {i}.{j} group");
+                    for (name, p, q) in [
+                        ("rank", u.rank, v.rank),
+                        ("rank_lower", u.rank_lower, v.rank_lower),
+                        ("rank_upper", u.rank_upper, v.rank_upper),
+                        ("score_lower", u.score_lower, v.score_lower),
+                        ("score_upper", u.score_upper, v.score_upper),
+                    ] {
+                        assert_eq!(p.to_bits(), q.to_bits(), "{what}: ci {i}.{j} {name}");
+                    }
+                }
+            }
+            _ => panic!("{what}: response {i} confidence presence differs"),
         }
     }
 }
@@ -161,6 +199,7 @@ fn fingerprints_match_pinned_golden_values() {
         restrict: MachineFilter::family(ProcessorFamily::Xeon),
         top_k: Some(5),
         seed: 7,
+        confidence: None,
     };
     let unrestricted = RankRequest {
         app: AppOfInterest::Suite(0),
@@ -169,6 +208,7 @@ fn fingerprints_match_pinned_golden_values() {
         restrict: MachineFilter::all(),
         top_k: None,
         seed: 0,
+        confidence: None,
     };
     let subset = RankRequest {
         app: AppOfInterest::Suite(11),
@@ -177,6 +217,7 @@ fn fingerprints_match_pinned_golden_values() {
         restrict: MachineFilter::years(2007, 2009).with_subset(vec![5, 10, 15]),
         top_k: Some(2),
         seed: 0xDEAD_BEEF,
+        confidence: None,
     };
     assert_eq!(
         RequestFingerprint::of(&suite).as_u64(),
@@ -264,11 +305,12 @@ fn sharded_incremental_growth_across_a_split_matches_dense_for_every_model() {
             restrict: MachineFilter::all(),
             top_k: Some(6),
             seed: 21 + i as u64,
+            confidence: None,
         })
         .collect();
     let config = quick_config(Parallelism::Auto);
-    let on_dense = serve_batch(&full, &requests, &config).expect("dense serve");
-    let on_grown = serve_batch(&sharded, &requests, &config).expect("sharded serve");
+    let on_dense = ok_all(serve_batch(&full, &requests, &config), "dense serve");
+    let on_grown = ok_all(serve_batch(&sharded, &requests, &config), "sharded serve");
     assert_responses_bitwise_eq(
         &rankings_only(&on_dense),
         &rankings_only(&on_grown),
@@ -363,6 +405,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::family(ProcessorFamily::Xeon),
             top_k: Some(5),
             seed: 11,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(7),
@@ -371,6 +414,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::years(2007, 2009),
             top_k: Some(3),
             seed: 12,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(3),
@@ -379,6 +423,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::all().with_min_score(4, threshold),
             top_k: Some(4),
             seed: 13,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(15),
@@ -387,6 +432,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::all(),
             top_k: Some(10),
             seed: 14,
+            confidence: None,
         },
     ]
 }
@@ -396,8 +442,10 @@ fn cache_hits_are_bitwise_identical_across_threads_backings_and_orderings() {
     let dense = generate(&DatasetConfig::default()).expect("dataset");
     let sharded = ShardedPerfDatabase::from_dense(&dense, 8).expect("shardable");
     let requests = cache_request_mix(&dense);
-    let reference = serve_batch(&dense, &requests, &quick_config(Parallelism::Sequential))
-        .expect("cold reference");
+    let reference = ok_all(
+        serve_batch(&dense, &requests, &quick_config(Parallelism::Sequential)),
+        "cold reference",
+    );
 
     let backings: [(&str, &dyn DatabaseView); 2] = [("dense", &dense), ("sharded8", &sharded)];
     for (backing, view) in backings {
@@ -405,18 +453,18 @@ fn cache_hits_are_bitwise_identical_across_threads_backings_and_orderings() {
             let config = quick_config(Parallelism::Threads(threads));
             let what = format!("{backing} @ {threads} threads");
             let mut cache = ResultCache::new(16);
-            let cold = serve_batch_cached(view, &requests, &config, &mut cache).expect("cold pass");
+            let cold = serve_batch_cached(view, &requests, &config, &mut cache);
             assert_eq!((cold.hits, cold.misses), (0, 4), "{what}");
             assert_responses_bitwise_eq(
                 &rankings_only(&reference),
-                &rankings_only(&cold.responses),
+                &rankings_only(&ok_all(cold.responses, &what)),
                 &format!("{what}: cold"),
             );
-            let warm = serve_batch_cached(view, &requests, &config, &mut cache).expect("warm pass");
+            let warm = serve_batch_cached(view, &requests, &config, &mut cache);
             assert_eq!((warm.hits, warm.misses), (4, 0), "{what}");
             assert_responses_bitwise_eq(
                 &rankings_only(&reference),
-                &rankings_only(&warm.responses),
+                &rankings_only(&ok_all(warm.responses, &what)),
                 &format!("{what}: warm"),
             );
 
@@ -424,13 +472,12 @@ fn cache_hits_are_bitwise_identical_across_threads_backings_and_orderings() {
             // with the requests, still bitwise-identical.
             let order = [2usize, 0, 3, 1];
             let permuted: Vec<RankRequest> = order.iter().map(|&i| requests[i].clone()).collect();
-            let served =
-                serve_batch_cached(view, &permuted, &config, &mut cache).expect("permuted pass");
+            let served = serve_batch_cached(view, &permuted, &config, &mut cache);
             assert_eq!((served.hits, served.misses), (4, 0), "{what}");
             let expected: Vec<RankResponse> = order.iter().map(|&i| reference[i].clone()).collect();
             assert_responses_bitwise_eq(
                 &rankings_only(&expected),
-                &rankings_only(&served.responses),
+                &rankings_only(&ok_all(served.responses, &what)),
                 &format!("{what}: permuted warm"),
             );
 
@@ -438,13 +485,12 @@ fn cache_hits_are_bitwise_identical_across_threads_backings_and_orderings() {
             // requests from storage and evaluates two cold, in one batch.
             let mut half = ResultCache::new(16);
             let firsts: Vec<RankRequest> = requests[..2].to_vec();
-            serve_batch_cached(view, &firsts, &config, &mut half).expect("half warm");
-            let mixed =
-                serve_batch_cached(view, &requests, &config, &mut half).expect("mixed pass");
+            serve_batch_cached(view, &firsts, &config, &mut half);
+            let mixed = serve_batch_cached(view, &requests, &config, &mut half);
             assert_eq!((mixed.hits, mixed.misses), (2, 2), "{what}");
             assert_responses_bitwise_eq(
                 &rankings_only(&reference),
-                &rankings_only(&mixed.responses),
+                &rankings_only(&ok_all(mixed.responses, &what)),
                 &format!("{what}: mixed hit/miss"),
             );
         }
@@ -458,21 +504,115 @@ fn version_move_invalidates_and_reserves_against_the_grown_catalog() {
     let requests = cache_request_mix(&dense);
     let config = quick_config(Parallelism::Sequential);
     let mut cache = ResultCache::new(16);
-    let cold = serve_batch_cached(&sharded, &requests, &config, &mut cache).expect("cold");
+    let cold = serve_batch_cached(&sharded, &requests, &config, &mut cache);
+    let cold_responses = ok_all(cold.responses, "cold");
 
     let batch = synthesize_ingest(17, dense.benchmarks(), 6, 0.015).expect("ingest");
     sharded.push_machines(&batch).expect("push");
 
-    let post = serve_batch_cached(&sharded, &requests, &config, &mut cache).expect("post");
+    let post = serve_batch_cached(&sharded, &requests, &config, &mut cache);
     assert_eq!(post.invalidations, 4, "every resident entry dropped");
     assert_eq!((post.hits, post.misses), (0, 4), "nothing stale served");
+    let post_responses = ok_all(post.responses, "post");
     // The unrestricted request now sees the grown candidate set.
     assert_eq!(
-        post.responses[3].candidates,
-        cold.responses[3].candidates + batch.len()
+        post_responses[3].candidates,
+        cold_responses[3].candidates + batch.len()
     );
     // And the grown responses match a cold evaluation against the grown
     // catalog exactly.
-    let fresh = serve_batch(&sharded, &requests, &config).expect("fresh");
-    assert_responses_bitwise_eq(&fresh, &post.responses, "post-ingest vs fresh");
+    let fresh = ok_all(serve_batch(&sharded, &requests, &config), "fresh");
+    assert_responses_bitwise_eq(&fresh, &post_responses, "post-ingest vs fresh");
+}
+
+// ---------------------------------------------------------------------
+// Confidence annex: fingerprint injectivity and cache identity
+// ---------------------------------------------------------------------
+
+#[test]
+fn confidence_fingerprints_never_collide_with_plain_requests() {
+    // The optional confidence block is domain-tagged: a confidence-bearing
+    // request must be distinct from every plain request in the corpus and
+    // from every variation of its own confidence fields.
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let (plain, _) = synth_requests(&db, 24, 5, 42);
+    let mut corpus = plain.clone();
+    for request in &plain {
+        for confidence in [
+            ConfidenceConfig::default(),
+            ConfidenceConfig {
+                level: 0.9,
+                ..ConfidenceConfig::default()
+            },
+            ConfidenceConfig {
+                sigma: 0.03,
+                ..ConfidenceConfig::default()
+            },
+            ConfidenceConfig {
+                resamples: 64,
+                ..ConfidenceConfig::default()
+            },
+        ] {
+            corpus.push(RankRequest {
+                confidence: Some(confidence),
+                ..request.clone()
+            });
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (i, request) in corpus.iter().enumerate() {
+        assert!(
+            seen.insert(RequestFingerprint::of(request).as_u64()),
+            "request {i} collides with an earlier fingerprint"
+        );
+    }
+    assert_eq!(seen.len(), 24 * 5);
+}
+
+#[test]
+fn confidence_cache_hits_are_bitwise_identical_to_cold_evaluation() {
+    // Warm-vs-cold identity for confidence-bearing requests: the annex
+    // (rank CIs, tie groups) is stored verbatim and replayed bitwise, on
+    // either backing, at either pinned thread count.
+    let dense = generate(&DatasetConfig::default()).expect("dataset");
+    let sharded = ShardedPerfDatabase::from_dense(&dense, 8).expect("shardable");
+    let mut requests = cache_request_mix(&dense);
+    for request in &mut requests {
+        request.confidence = Some(ConfidenceConfig {
+            repeats: 4,
+            resamples: 60,
+            ..ConfidenceConfig::default()
+        });
+    }
+    let reference = ok_all(
+        serve_batch(&dense, &requests, &quick_config(Parallelism::Sequential)),
+        "confidence reference",
+    );
+    assert!(
+        reference.iter().all(|r| r.confidence.is_some()),
+        "every response carries the annex"
+    );
+
+    let backings: [(&str, &dyn DatabaseView); 2] = [("dense", &dense), ("sharded8", &sharded)];
+    for (backing, view) in backings {
+        for threads in [1usize, 4] {
+            let config = quick_config(Parallelism::Threads(threads));
+            let what = format!("confidence {backing} @ {threads} threads");
+            let mut cache = ResultCache::new(16);
+            let cold = serve_batch_cached(view, &requests, &config, &mut cache);
+            assert_eq!((cold.hits, cold.misses), (0, 4), "{what}");
+            assert_responses_bitwise_eq(
+                &rankings_only(&reference),
+                &rankings_only(&ok_all(cold.responses, &what)),
+                &format!("{what}: cold"),
+            );
+            let warm = serve_batch_cached(view, &requests, &config, &mut cache);
+            assert_eq!((warm.hits, warm.misses), (4, 0), "{what}");
+            assert_responses_bitwise_eq(
+                &rankings_only(&reference),
+                &rankings_only(&ok_all(warm.responses, &what)),
+                &format!("{what}: warm"),
+            );
+        }
+    }
 }

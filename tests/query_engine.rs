@@ -5,7 +5,8 @@
 //! permutations.
 
 use datatrans::core::serve::{
-    serve_batch, serve_one, AppOfInterest, ModelKind, RankRequest, RankResponse, ServeConfig,
+    serve_batch, serve_one, AppOfInterest, ConfidenceConfig, ModelKind, RankRequest, RankResponse,
+    ServeConfig, ServeError,
 };
 use datatrans::dataset::generator::{generate, DatasetConfig};
 use datatrans::dataset::machine::ProcessorFamily;
@@ -36,6 +37,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::family(ProcessorFamily::Xeon),
             top_k: Some(5),
             seed: 11,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(7),
@@ -44,6 +46,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::years(2007, 2009),
             top_k: Some(3),
             seed: 12,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::External(synthesize(WorkloadProfile::Scientific, 5)),
@@ -52,6 +55,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::all().with_min_score(4, threshold),
             top_k: Some(4),
             seed: 13,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::External(synthesize(WorkloadProfile::ServerInteger, 6)),
@@ -60,6 +64,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::all().with_subset((0..117).step_by(5).collect()),
             top_k: None,
             seed: 14,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(15),
@@ -68,6 +73,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::all(),
             top_k: Some(10),
             seed: 15,
+            confidence: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(3),
@@ -76,6 +82,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             restrict: MachineFilter::family(ProcessorFamily::Itanium).with_years(2002, 2009),
             top_k: Some(2),
             seed: 16,
+            confidence: None,
         },
     ];
     // A second family request so every model sees a pruned plan.
@@ -86,12 +93,22 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
         restrict: MachineFilter::family(ProcessorFamily::Phenom),
         top_k: Some(5),
         seed: 17,
+        confidence: None,
     });
     requests
 }
 
+/// Unwraps a fault-isolated batch in which every slot must have served.
+fn ok_all(slots: Vec<Result<RankResponse, ServeError>>, what: &str) -> Vec<RankResponse> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|e| panic!("{what}: slot {i} failed: {e}")))
+        .collect()
+}
+
 /// Bitwise comparison of two responses: every field, scores by bit
-/// pattern.
+/// pattern, including the optional rank-confidence annex.
 fn assert_responses_bitwise_eq(a: &[RankResponse], b: &[RankResponse], what: &str) {
     assert_eq!(a.len(), b.len(), "{what}: response count");
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
@@ -105,6 +122,35 @@ fn assert_responses_bitwise_eq(a: &[RankResponse], b: &[RankResponse], what: &st
                 s.predicted_score.to_bits(),
                 "{what}: response {i} rank {j} score"
             );
+        }
+        match (&x.confidence, &y.confidence) {
+            (None, None) => {}
+            (Some(cx), Some(cy)) => {
+                assert_eq!(
+                    cx.level.to_bits(),
+                    cy.level.to_bits(),
+                    "{what}: response {i} confidence level"
+                );
+                assert_eq!(
+                    cx.tie_groups, cy.tie_groups,
+                    "{what}: response {i} tie groups"
+                );
+                assert_eq!(cx.ranked.len(), cy.ranked.len(), "{what}: response {i}");
+                for (j, (u, v)) in cx.ranked.iter().zip(&cy.ranked).enumerate() {
+                    assert_eq!(u.machine, v.machine, "{what}: ci {i}.{j} machine");
+                    assert_eq!(u.tie_group, v.tie_group, "{what}: ci {i}.{j} group");
+                    for (name, p, q) in [
+                        ("rank", u.rank, v.rank),
+                        ("rank_lower", u.rank_lower, v.rank_lower),
+                        ("rank_upper", u.rank_upper, v.rank_upper),
+                        ("score_lower", u.score_lower, v.score_lower),
+                        ("score_upper", u.score_upper, v.score_upper),
+                    ] {
+                        assert_eq!(p.to_bits(), q.to_bits(), "{what}: ci {i}.{j} {name}");
+                    }
+                }
+            }
+            _ => panic!("{what}: response {i} confidence presence differs"),
         }
     }
 }
@@ -126,11 +172,15 @@ fn rankings_only(responses: &[RankResponse]) -> Vec<RankResponse> {
 fn batch_responses_identical_at_any_thread_count() {
     let db = generate(&DatasetConfig::default()).expect("dataset");
     let requests = request_mix(&db);
-    let reference = serve_batch(&db, &requests, &quick_config(Parallelism::Sequential))
-        .expect("sequential batch");
+    let reference = ok_all(
+        serve_batch(&db, &requests, &quick_config(Parallelism::Sequential)),
+        "sequential batch",
+    );
     for threads in [1usize, 2, 4] {
-        let parallel = serve_batch(&db, &requests, &quick_config(Parallelism::Threads(threads)))
-            .expect("parallel batch");
+        let parallel = ok_all(
+            serve_batch(&db, &requests, &quick_config(Parallelism::Threads(threads))),
+            "parallel batch",
+        );
         assert_responses_bitwise_eq(&reference, &parallel, &format!("{threads} threads"));
     }
 }
@@ -143,18 +193,22 @@ fn pruned_sharded_serving_matches_dense_for_every_model() {
     // prunes.
     let db = generate(&DatasetConfig::default()).expect("dataset");
     let requests = request_mix(&db);
-    let reference = serve_batch(&db, &requests, &quick_config(Parallelism::Sequential))
-        .expect("dense sequential");
+    let reference = ok_all(
+        serve_batch(&db, &requests, &quick_config(Parallelism::Sequential)),
+        "dense sequential",
+    );
     assert!(reference.iter().all(|r| r.shards_pruned == 0));
     for n_shards in [8usize, 117] {
         let sharded = ShardedPerfDatabase::from_dense(&db, n_shards).expect("shardable");
         for threads in [1usize, 4] {
-            let responses = serve_batch(
-                &sharded,
-                &requests,
-                &quick_config(Parallelism::Threads(threads)),
-            )
-            .expect("sharded batch");
+            let responses = ok_all(
+                serve_batch(
+                    &sharded,
+                    &requests,
+                    &quick_config(Parallelism::Threads(threads)),
+                ),
+                "sharded batch",
+            );
             assert_responses_bitwise_eq(
                 &rankings_only(&reference),
                 &rankings_only(&responses),
@@ -181,9 +235,12 @@ fn batch_order_is_irrelevant() {
     let sharded = ShardedPerfDatabase::from_dense(&db, 5).expect("shardable");
     let requests = request_mix(&db);
     let config = quick_config(Parallelism::Threads(2));
-    let forward = serve_batch(&sharded, &requests, &config).expect("forward");
+    let forward = ok_all(serve_batch(&sharded, &requests, &config), "forward");
     let reversed_requests: Vec<RankRequest> = requests.iter().rev().cloned().collect();
-    let reversed = serve_batch(&sharded, &reversed_requests, &config).expect("reversed");
+    let reversed = ok_all(
+        serve_batch(&sharded, &reversed_requests, &config),
+        "reversed",
+    );
     let unreversed: Vec<RankResponse> = reversed.into_iter().rev().collect();
     assert_responses_bitwise_eq(&forward, &unreversed, "reversed batch");
 }
@@ -194,7 +251,7 @@ fn batch_agrees_with_one_by_one_serving() {
     let sharded = ShardedPerfDatabase::from_dense(&db, 8).expect("shardable");
     let requests = request_mix(&db);
     let config = quick_config(Parallelism::Threads(4));
-    let batch = serve_batch(&sharded, &requests, &config).expect("batch");
+    let batch = ok_all(serve_batch(&sharded, &requests, &config), "batch");
     for (i, request) in requests.iter().enumerate() {
         let single = serve_one(&sharded, request, &config).expect("single");
         assert_responses_bitwise_eq(
@@ -215,11 +272,17 @@ fn parallel_gather_backing_serves_identical_responses() {
     let requests = request_mix(&db);
     let config = quick_config(Parallelism::Threads(2));
     let plain = ShardedPerfDatabase::from_dense(&db, 6).expect("shardable");
-    let reference = serve_batch(&plain, &requests, &config).expect("sequential gathers");
+    let reference = ok_all(
+        serve_batch(&plain, &requests, &config),
+        "sequential gathers",
+    );
     let gather_parallel = ShardedPerfDatabase::from_dense(&db, 6)
         .expect("shardable")
         .with_parallelism(Parallelism::Threads(2));
-    let responses = serve_batch(&gather_parallel, &requests, &config).expect("parallel gathers");
+    let responses = ok_all(
+        serve_batch(&gather_parallel, &requests, &config),
+        "parallel gathers",
+    );
     assert_responses_bitwise_eq(&reference, &responses, "parallel-gather backing");
 }
 
@@ -233,6 +296,7 @@ fn top_k_is_a_prefix_of_the_full_ranking() {
         restrict: MachineFilter::years(2006, 2009),
         top_k: None,
         seed: 3,
+        confidence: None,
     };
     let cut_request = RankRequest {
         top_k: Some(4),
@@ -255,4 +319,61 @@ fn top_k_is_a_prefix_of_the_full_ranking() {
     )
     .expect("oversized");
     assert_eq!(oversized.ranked.len(), oversized.candidates);
+}
+
+#[test]
+fn confidence_annexes_identical_across_threads_backings_and_order() {
+    // Tie groups and bootstrap rank CIs ride the same determinism
+    // contract as the rankings: bitwise-identical across thread counts,
+    // dense vs sharded backings, and batch permutations.
+    let db = generate(&DatasetConfig::default()).expect("dataset");
+    let mut requests = request_mix(&db);
+    for request in &mut requests {
+        request.confidence = Some(ConfidenceConfig {
+            repeats: 4,
+            resamples: 60,
+            ..ConfidenceConfig::default()
+        });
+    }
+    let reference = ok_all(
+        serve_batch(&db, &requests, &quick_config(Parallelism::Sequential)),
+        "confidence dense sequential",
+    );
+    assert!(
+        reference.iter().all(|r| r.confidence.is_some()),
+        "every response carries the annex"
+    );
+
+    // Thread counts on the dense backing.
+    for threads in [1usize, 4] {
+        let parallel = ok_all(
+            serve_batch(&db, &requests, &quick_config(Parallelism::Threads(threads))),
+            "confidence parallel",
+        );
+        assert_responses_bitwise_eq(
+            &reference,
+            &parallel,
+            &format!("confidence @ {threads} threads"),
+        );
+    }
+
+    // Sharded backing, plus a permuted batch on it.
+    let sharded = ShardedPerfDatabase::from_dense(&db, 8).expect("shardable");
+    let config = quick_config(Parallelism::Threads(4));
+    let on_sharded = ok_all(
+        serve_batch(&sharded, &requests, &config),
+        "confidence sharded",
+    );
+    assert_responses_bitwise_eq(
+        &rankings_only(&reference),
+        &rankings_only(&on_sharded),
+        "confidence sharded8",
+    );
+    let reversed_requests: Vec<RankRequest> = requests.iter().rev().cloned().collect();
+    let reversed = ok_all(
+        serve_batch(&sharded, &reversed_requests, &config),
+        "confidence reversed",
+    );
+    let unreversed: Vec<RankResponse> = reversed.into_iter().rev().collect();
+    assert_responses_bitwise_eq(&on_sharded, &unreversed, "confidence reversed batch");
 }
