@@ -15,8 +15,11 @@
 //! (`query_batch`), dense vs sharded-with-pruning, the versioned result
 //! cache cold vs warm (`serve_cache`), streaming machine ingest with
 //! tail-shard splitting (`db_ingest`), bootstrap rank-confidence
-//! intervals sequential vs pooled (`rank_ci`), and the serving path with
-//! the confidence annex enabled vs plain (`serve_noisy`).
+//! intervals sequential vs pooled (`rank_ci`), the serving path with
+//! the confidence annex enabled vs plain (`serve_noisy`), and the TCP
+//! front end's warm loopback round trip vs warm in-process serving
+//! (`net_serve`) — the gap prices the wire protocol, batching window,
+//! and socket hop.
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_scaled_database, bench_sharded_database, bench_task};
@@ -36,6 +39,8 @@ use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
 use datatrans_ml::knn::{select_k_nearest, KnnIndex, Neighbor};
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
 use datatrans_parallel::Parallelism;
+use datatrans_serve_net::protocol::{render_result, write_request};
+use datatrans_serve_net::server::{NetServer, NetServerConfig};
 use datatrans_stats::correlation::spearman;
 use datatrans_stats::rank::bootstrap_rank_confidence;
 
@@ -820,6 +825,74 @@ fn bench_serve_noisy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The TCP front end against in-process serving on the same warm 16-mix:
+/// `inproc` runs `serve_batch_cached` (all hits) and renders the wire
+/// lines; `tcp` pipelines the same 16 request lines over a persistent
+/// loopback connection to a warm server. The gap is pure front-end
+/// overhead — parse, batching window, socket round trip — with model
+/// time cached out of both sides. CI's trajectory gate asserts
+/// inproc < tcp in the same run (`bench_diff --require-faster`).
+fn bench_net_serve(c: &mut Criterion) {
+    use std::io::{BufRead, Write};
+
+    let dense = bench_database();
+    let (requests, _labels) = synth_requests(&dense, 16, 5, 42);
+    let cfg = ServeConfig {
+        parallelism: Parallelism::Sequential,
+        ..ServeConfig::quick()
+    };
+    let lines: Vec<String> = requests.iter().map(write_request).collect();
+
+    let mut group = c.benchmark_group("net_serve");
+    group.sample_size(10);
+    group.bench_function("inproc_mixed16_warm", |bch| {
+        let mut cache = ResultCache::new(64);
+        serve_batch_cached(&dense, &requests, &cfg, &mut cache);
+        bch.iter(|| {
+            let batch = serve_batch_cached(&dense, &requests, &cfg, &mut cache);
+            let rendered: Vec<String> = batch.responses.iter().map(render_result).collect();
+            std::hint::black_box(rendered)
+        })
+    });
+    group.bench_function("tcp_mixed16_warm", |bch| {
+        let net_config = NetServerConfig {
+            serve: cfg.clone(),
+            cache_capacity: 64,
+            ..NetServerConfig::default()
+        };
+        let server = NetServer::spawn(
+            std::sync::Arc::new(dense.clone()),
+            "127.0.0.1:0",
+            net_config,
+        )
+        .expect("bind loopback");
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+        let round_trip = |stream: &mut std::net::TcpStream,
+                          reader: &mut std::io::BufReader<std::net::TcpStream>|
+         -> usize {
+            let mut bytes = 0usize;
+            for line in &lines {
+                stream.write_all(line.as_bytes()).expect("send");
+                stream.write_all(b"\n").expect("send");
+            }
+            let mut response = String::new();
+            for _ in &lines {
+                response.clear();
+                assert!(reader.read_line(&mut response).expect("recv") > 0);
+                bytes += response.len();
+            }
+            bytes
+        };
+        // Warm the server's cache so iterations price the wire, not the
+        // models.
+        round_trip(&mut stream, &mut reader);
+        bch.iter(|| std::hint::black_box(round_trip(&mut stream, &mut reader)))
+    });
+    group.finish();
+}
+
 /// The paper-sized (29 × 117) database partitioned 8 ways, for the
 /// serving benches (the 1k fixture would drown the planner in model
 /// time).
@@ -849,6 +922,7 @@ criterion_group!(
     bench_serve_cache,
     bench_db_ingest,
     bench_rank_ci,
-    bench_serve_noisy
+    bench_serve_noisy,
+    bench_net_serve
 );
 criterion_main!(benches);

@@ -97,6 +97,18 @@ pub enum ServeError {
         /// Offending value (counts are converted to `f64`).
         value: f64,
     },
+    /// `top_k: Some(0)` asks for an empty ranking — rejected up front so a
+    /// wire client gets a clear error instead of paying full model
+    /// evaluation for a confusing empty response.
+    ZeroTopK,
+    /// An internal serving invariant failed. This flags a bug in the
+    /// engine (never in the request); surfacing it as a typed per-slot
+    /// error means a cache- or batch-logic slip degrades one slot instead
+    /// of panicking the whole listener process.
+    Invariant {
+        /// The invariant that did not hold.
+        what: &'static str,
+    },
     /// Task construction or model evaluation failed after validation.
     Evaluation(CoreError),
 }
@@ -124,6 +136,15 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidConfidence { name, value } => {
                 write!(f, "confidence parameter {name} out of domain: {value}")
+            }
+            ServeError::ZeroTopK => {
+                write!(
+                    f,
+                    "top_k of 0 requests an empty ranking (omit top_k for the full ranking)"
+                )
+            }
+            ServeError::Invariant { what } => {
+                write!(f, "serving invariant violated: {what}")
             }
             ServeError::Evaluation(e) => write!(f, "evaluation failed: {e}"),
         }
@@ -418,7 +439,18 @@ struct ModelCache {
 }
 
 impl ModelCache {
-    fn get(&mut self, kind: ModelKind, config: &ServeConfig) -> &dyn Predictor {
+    /// The worker's predictor for `kind`, built on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Invariant`] if the slot is somehow still
+    /// empty after the fill — a cache-logic bug that must degrade the one
+    /// request, not panic the serving process.
+    fn get(
+        &mut self,
+        kind: ModelKind,
+        config: &ServeConfig,
+    ) -> std::result::Result<&dyn Predictor, ServeError> {
         let slot = match kind {
             ModelKind::NnT => 0,
             ModelKind::MlpT => 1,
@@ -427,7 +459,12 @@ impl ModelCache {
         if self.models[slot].is_none() {
             self.models[slot] = Some(config.build_model(kind));
         }
-        self.models[slot].as_deref().expect("slot just filled")
+        self.models[slot]
+            .as_deref()
+            .map(|model| model as &dyn Predictor)
+            .ok_or(ServeError::Invariant {
+                what: "model cache slot empty after fill",
+            })
     }
 }
 
@@ -451,6 +488,9 @@ fn validate_request<D: DatabaseView + ?Sized>(
     let bound = view.n_machines();
     if let Some(&m) = request.predictive.iter().find(|&&m| m >= bound) {
         return Err(ServeError::PredictiveOutOfRange { index: m, bound });
+    }
+    if request.top_k == Some(0) {
+        return Err(ServeError::ZeroTopK);
     }
     match request.restrict.validate(view) {
         Ok(()) => {}
@@ -555,7 +595,7 @@ fn serve_with<D: DatabaseView + ?Sized>(
             PredictionTask::external_app(view, app, &request.predictive, &targets, request.seed)?
         }
     };
-    let model = cache.get(request.model, config);
+    let model = cache.get(request.model, config)?;
     let predicted = model.predict(&task)?;
     let ranking = Ranking::from_scores(&predicted)?;
     let k = request.top_k.unwrap_or(targets.len()).min(targets.len());
@@ -696,9 +736,16 @@ pub fn serve_batch_cached<D: DatabaseView + ?Sized>(
         slots[i] = Some(result);
     }
     CachedBatch {
+        // Every slot is a hit or a filled miss; if the bookkeeping ever
+        // slips, the slot degrades to a typed invariant error instead of
+        // panicking the listener process serving the batch.
         responses: slots
             .into_iter()
-            .map(|slot| slot.expect("every slot is a hit or a filled miss"))
+            .map(|slot| {
+                slot.unwrap_or(Err(ServeError::Invariant {
+                    what: "batch slot neither cache hit nor filled miss",
+                }))
+            })
             .collect(),
         hits,
         misses,
@@ -1071,6 +1118,67 @@ mod tests {
         assert_eq!((second.hits, second.misses), (1, 1));
         assert_eq!(second.responses, first.responses);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_top_k_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let request = RankRequest {
+            top_k: Some(0),
+            ..base_request()
+        };
+        assert_eq!(
+            serve_one(&db, &request, &quick()),
+            Err(ServeError::ZeroTopK)
+        );
+        // Some(1) and None still serve.
+        for top_k in [Some(1), None] {
+            let request = RankRequest {
+                top_k,
+                ..base_request()
+            };
+            assert!(serve_one(&db, &request, &quick()).is_ok());
+        }
+    }
+
+    #[test]
+    fn cached_batch_isolates_mixed_hit_miss_and_error_slots() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let warm = RankRequest {
+            predictive: vec![0, 30],
+            top_k: Some(2),
+            ..base_request()
+        };
+        let cold = RankRequest {
+            app: AppOfInterest::Suite(1),
+            ..warm.clone()
+        };
+        let bad = RankRequest {
+            top_k: Some(0),
+            ..warm.clone()
+        };
+        let mut cache = crate::cache::ResultCache::new(8);
+        serve_batch_cached(&db, std::slice::from_ref(&warm), &quick(), &mut cache);
+        // One resident hit, one fresh miss, one typed error — all in one
+        // batch through the cached path, each in its own slot.
+        let mixed = serve_batch_cached(
+            &db,
+            &[warm.clone(), cold.clone(), bad],
+            &quick(),
+            &mut cache,
+        );
+        assert_eq!((mixed.hits, mixed.misses), (1, 2));
+        assert_eq!(
+            mixed.responses[0].as_ref().unwrap(),
+            &serve_one(&db, &warm, &quick()).unwrap()
+        );
+        assert_eq!(
+            mixed.responses[1].as_ref().unwrap(),
+            &serve_one(&db, &cold, &quick()).unwrap()
+        );
+        assert_eq!(mixed.responses[2], Err(ServeError::ZeroTopK));
+        // The error slot was never inserted: warm + cold are resident.
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -400,10 +400,34 @@ impl ShardedPerfDatabase {
     ///
     /// # Panics
     ///
-    /// Panics if `m` is out of bounds.
+    /// Panics if `m` is out of bounds. Externally supplied indices (e.g.
+    /// network input) should go through
+    /// [`ShardedPerfDatabase::checked_shard_of`] instead.
     pub fn shard_of(&self, m: usize) -> usize {
-        assert!(m < self.machines.len(), "machine index out of bounds");
-        if self.balanced {
+        self.checked_shard_of(m)
+            .unwrap_or_else(|e| panic!("shard_of: {e}"))
+    }
+
+    /// Fallible [`ShardedPerfDatabase::shard_of`]: returns a typed error
+    /// instead of panicking when `m` is out of bounds, so externally
+    /// supplied machine indices (the serving edge accepts arbitrary ones
+    /// off the wire) can be resolved without risking the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::IndexOutOfBounds`] when
+    /// `m >= n_machines()`; the bounds check runs *before* any shard
+    /// arithmetic, so neither the balanced-layout division nor the
+    /// `partition_point` fallback can underflow or index out of range.
+    pub fn checked_shard_of(&self, m: usize) -> Result<usize> {
+        if m >= self.machines.len() {
+            return Err(DatasetError::IndexOutOfBounds {
+                what: "machine",
+                index: m,
+                bound: self.machines.len(),
+            });
+        }
+        Ok(if self.balanced {
             let wide_cols = self.wide_shards * (self.base_width + 1);
             if m < wide_cols {
                 m / (self.base_width + 1)
@@ -411,10 +435,10 @@ impl ShardedPerfDatabase {
                 self.wide_shards + (m - wide_cols) / self.base_width
             }
         } else {
-            // Shard starts are strictly increasing; the owner is the last
-            // shard starting at or before m.
+            // Shard starts are strictly increasing and start at 0; the
+            // owner is the last shard starting at or before m.
             self.shards.partition_point(|s| s.start <= m) - 1
-        }
+        })
     }
 
     /// Locates machine column `m`: `(shard index, column local to shard)`.
@@ -732,6 +756,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn checked_shard_of_rejects_out_of_range_machines() {
+        // Regression: an arbitrary (e.g. wire-supplied) machine index at or
+        // past n_machines must yield a typed error, never a panic — on the
+        // balanced construction layout AND on the binary-search fallback an
+        // ingest switches to.
+        let db = dense();
+        let mut sharded = ShardedPerfDatabase::from_dense(&db, 8).unwrap();
+        for m in [117, 118, 1_000_000, usize::MAX] {
+            assert_eq!(
+                sharded.checked_shard_of(m),
+                Err(DatasetError::IndexOutOfBounds {
+                    what: "machine",
+                    index: m,
+                    bound: 117,
+                })
+            );
+        }
+        let batch = crate::generator::synthesize_ingest(7, sharded.benchmarks(), 3, 0.015).unwrap();
+        sharded.push_machines(&batch).unwrap();
+        for m in 0..120 {
+            let s = sharded.checked_shard_of(m).unwrap();
+            assert!(sharded.shard(s).machine_range().contains(&m));
+            assert_eq!(s, sharded.shard_of(m));
+        }
+        assert_eq!(
+            sharded.checked_shard_of(120),
+            Err(DatasetError::IndexOutOfBounds {
+                what: "machine",
+                index: 120,
+                bound: 120,
+            })
+        );
     }
 
     #[test]

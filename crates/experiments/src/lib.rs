@@ -13,10 +13,13 @@
 //! Beyond the paper, [`ablation`] sweeps the design choices DESIGN.md
 //! calls out (MLP width/epochs/domain, NNᵀ selection criterion, GA-kNN k),
 //! [`serve`] drives the concurrent ranking-query engine (shard-pruned
-//! planning + batched prediction) under a synthetic request mix, and
-//! [`robustness`] sweeps measurement noise over the catalog to produce
-//! perturbation-robustness curves (rank correlation of each model's
-//! served ranking vs noise level, dense and sharded).
+//! planning + batched prediction) under a synthetic request mix,
+//! [`net_serve`] drives the same mix through the TCP front end over
+//! loopback (verifying wire responses byte-identical to in-process
+//! serving and reporting p50/p99 latency), and [`robustness`] sweeps
+//! measurement noise over the catalog to produce perturbation-robustness
+//! curves (rank correlation of each model's served ranking vs noise
+//! level, dense and sharded).
 //!
 //! Each module exposes `run(&ExperimentConfig) -> Result<...Result>` whose
 //! output implements `Display`, printing rows in the paper's format. The
@@ -31,6 +34,7 @@ pub mod config;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod net_serve;
 pub mod robustness;
 pub mod serve;
 pub mod table2;

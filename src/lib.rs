@@ -25,6 +25,9 @@
 //!   models, the GA-kNN baseline, evaluation harnesses, and application
 //!   layers (purchasing advisor, heterogeneous scheduler, design-space
 //!   exploration).
+//! * [`serve_net`] — the std-only TCP serving front end: line-oriented
+//!   wire protocol, batching window, per-connection backpressure, and
+//!   graceful drain around the cached serving engine.
 //! * [`experiments`] — drivers regenerating every table and figure.
 //!
 //! # Quickstart
@@ -64,4 +67,5 @@ pub use datatrans_experiments as experiments;
 pub use datatrans_linalg as linalg;
 pub use datatrans_ml as ml;
 pub use datatrans_parallel as parallel;
+pub use datatrans_serve_net as serve_net;
 pub use datatrans_stats as stats;
