@@ -16,20 +16,26 @@
 //! cache cold vs warm (`serve_cache`), streaming machine ingest with
 //! tail-shard splitting (`db_ingest`), bootstrap rank-confidence
 //! intervals sequential vs pooled (`rank_ci`), the serving path with
-//! the confidence annex enabled vs plain (`serve_noisy`), and the TCP
+//! the confidence annex enabled vs plain (`serve_noisy`), the TCP
 //! front end's warm loopback round trip vs warm in-process serving
 //! (`net_serve`) — the gap prices the wire protocol, batching window,
-//! and socket hop.
+//! and socket hop — the PCA-bucketed approximate fast path vs exact
+//! serving on the 1k-machine catalog (`serve_approx`), and the PCA
+//! fit/projection kernels behind the bucket index (`pca_project`).
 
 use datatrans_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datatrans_bench::{bench_database, bench_scaled_database, bench_sharded_database, bench_task};
 use datatrans_core::cache::ResultCache;
 use datatrans_core::model::{GaKnn, GaKnnConfig, MlpT, NnT, Predictor};
-use datatrans_core::serve::{serve_batch, serve_batch_cached, ConfidenceConfig, ServeConfig};
+use datatrans_core::serve::{
+    serve_batch, serve_batch_cached, AppOfInterest, ApproxConfig, ConfidenceConfig, ModelKind,
+    RankRequest, ServeConfig,
+};
 use datatrans_dataset::generator::{
     generate, generate_scaled, synthesize_ingest, DatasetConfig, NoiseConfig, ScaleConfig,
 };
 use datatrans_dataset::machine::ProcessorFamily;
+use datatrans_dataset::query::MachineFilter;
 use datatrans_dataset::sharded::ShardedPerfDatabase;
 use datatrans_dataset::view::DatabaseView;
 use datatrans_experiments::serve::synth_requests;
@@ -38,6 +44,7 @@ use datatrans_ml::cluster::{k_medoids, KMedoidsConfig};
 use datatrans_ml::ga::{GaConfig, GeneticAlgorithm};
 use datatrans_ml::knn::{select_k_nearest, KnnIndex, Neighbor};
 use datatrans_ml::mlp::{MlpConfig, MlpRegressor};
+use datatrans_ml::pca::Pca;
 use datatrans_parallel::Parallelism;
 use datatrans_serve_net::protocol::{render_result, write_request};
 use datatrans_serve_net::server::{NetServer, NetServerConfig};
@@ -893,6 +900,75 @@ fn bench_net_serve(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PCA-bucketed approximate fast path against exact serving on the
+/// 1k-machine catalog: the same four unrestricted top-10 NNᵀ requests
+/// served with every candidate evaluated (`exact`) vs coarse-ranked over
+/// 16 bucket centroids with only the best 2 buckets' members surviving to
+/// the exact model (`approx`). Survivor scores are bitwise-equal between
+/// the two sides, so the gap is pure candidate pruning. CI's trajectory
+/// gate asserts approx < exact in the same run
+/// (`bench_diff --require-faster`).
+fn bench_serve_approx(c: &mut Criterion) {
+    let dense = bench_scaled_database();
+    let predictive: Vec<usize> = (0..5).map(|p| p * dense.n_machines() / 5).collect();
+    let exact: Vec<RankRequest> = (0..4)
+        .map(|i| RankRequest {
+            app: AppOfInterest::Suite(i * 7),
+            model: ModelKind::NnT,
+            predictive: predictive.clone(),
+            restrict: MachineFilter::all(),
+            top_k: Some(10),
+            seed: 42 + i as u64,
+            confidence: None,
+            approx: None,
+        })
+        .collect();
+    let mut approx = exact.clone();
+    for request in &mut approx {
+        request.approx = Some(ApproxConfig {
+            n_components: 2,
+            n_buckets: 16,
+            probe_buckets: 2,
+        });
+    }
+    let cfg = ServeConfig {
+        parallelism: Parallelism::Sequential,
+        ..ServeConfig::quick()
+    };
+
+    let mut group = c.benchmark_group("serve_approx");
+    group.sample_size(10);
+    group.bench_function("exact", |bch| {
+        bch.iter(|| std::hint::black_box(serve_batch(&dense, &exact, &cfg)))
+    });
+    group.bench_function("approx", |bch| {
+        bch.iter(|| std::hint::black_box(serve_batch(&dense, &approx, &cfg)))
+    });
+    group.finish();
+}
+
+/// The PCA kernels behind the bucket index, on the catalog-shaped matrix
+/// the index actually fits (1000 machines × 29 benchmarks, log-score
+/// space): `fit` is the per-build eigendecomposition cost, `transform`
+/// the kernel-routed projection of every machine into component space.
+fn bench_pca_project(c: &mut Criterion) {
+    let dense = bench_scaled_database();
+    let data = Matrix::from_fn(dense.n_machines(), dense.n_benchmarks(), |m, b| {
+        dense.score(b, m).ln()
+    });
+    let pca = Pca::fit(&data, 4).expect("pca fits");
+
+    let mut group = c.benchmark_group("pca_project");
+    group.sample_size(30);
+    group.bench_function("fit_1000x29_c4", |bch| {
+        bch.iter(|| std::hint::black_box(Pca::fit(&data, 4).expect("pca fits")))
+    });
+    group.bench_function("transform_1000x29_c4", |bch| {
+        bch.iter(|| std::hint::black_box(pca.transform(&data).expect("projects")))
+    });
+    group.finish();
+}
+
 /// The paper-sized (29 × 117) database partitioned 8 ways, for the
 /// serving benches (the 1k fixture would drown the planner in model
 /// time).
@@ -923,6 +999,8 @@ criterion_group!(
     bench_db_ingest,
     bench_rank_ci,
     bench_serve_noisy,
-    bench_net_serve
+    bench_net_serve,
+    bench_serve_approx,
+    bench_pca_project
 );
 criterion_main!(benches);

@@ -184,6 +184,7 @@ mod tests {
             top_k: None,
             seed,
             confidence: None,
+            approx: None,
         }
     }
 
@@ -198,6 +199,7 @@ mod tests {
             shards_scanned: 1,
             shards_pruned: 0,
             confidence: None,
+            approx: None,
         }
     }
 

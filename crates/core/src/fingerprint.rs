@@ -83,6 +83,7 @@ const TAG_RESTRICT: u64 = 0xA4;
 const TAG_TOP_K: u64 = 0xA5;
 const TAG_SEED: u64 = 0xA6;
 const TAG_CONFIDENCE: u64 = 0xA7;
+const TAG_APPROX: u64 = 0xA8;
 
 /// A stable 64-bit digest of a [`RankRequest`]'s semantic content.
 ///
@@ -167,6 +168,15 @@ impl RequestFingerprint {
             mixer.absorb(c.repeats as u64);
             mixer.absorb(c.resamples as u64);
         }
+        // Same absorb-only-when-present rule as confidence: an exact
+        // request digests identically to the pre-approx format, and the
+        // tag domain-separates approx parameters from every other field.
+        if let Some(a) = &request.approx {
+            mixer.absorb(TAG_APPROX);
+            mixer.absorb(a.n_components as u64);
+            mixer.absorb(a.n_buckets as u64);
+            mixer.absorb(a.probe_buckets as u64);
+        }
         RequestFingerprint(mixer.0)
     }
 
@@ -179,7 +189,7 @@ impl RequestFingerprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::{ConfidenceConfig, ModelKind};
+    use crate::serve::{ApproxConfig, ConfidenceConfig, ModelKind};
     use datatrans_dataset::machine::ProcessorFamily;
     use datatrans_dataset::query::MachineFilter;
     use datatrans_dataset::workload_synth::{synthesize, WorkloadProfile};
@@ -193,6 +203,7 @@ mod tests {
             top_k: Some(5),
             seed: 7,
             confidence: None,
+            approx: None,
         }
     }
 
@@ -248,6 +259,14 @@ mod tests {
                 confidence: Some(ConfidenceConfig::default()),
                 ..base_request()
             },
+            RankRequest {
+                approx: Some(ApproxConfig {
+                    n_components: 2,
+                    n_buckets: 8,
+                    probe_buckets: 3,
+                }),
+                ..base_request()
+            },
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base, RequestFingerprint::of(v), "variant {i}");
@@ -277,6 +296,37 @@ mod tests {
             ConfidenceConfig {
                 resamples: 100,
                 ..ConfidenceConfig::default()
+            },
+        ];
+        for (i, v) in variants.into_iter().enumerate() {
+            assert_ne!(base, RequestFingerprint::of(&with(v)), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn every_approx_field_is_load_bearing() {
+        let with = |approx: ApproxConfig| RankRequest {
+            approx: Some(approx),
+            ..base_request()
+        };
+        let reference = ApproxConfig {
+            n_components: 2,
+            n_buckets: 8,
+            probe_buckets: 3,
+        };
+        let base = RequestFingerprint::of(&with(reference));
+        let variants = [
+            ApproxConfig {
+                n_components: 3,
+                ..reference
+            },
+            ApproxConfig {
+                n_buckets: 9,
+                ..reference
+            },
+            ApproxConfig {
+                probe_buckets: 4,
+                ..reference
             },
         ];
         for (i, v) in variants.into_iter().enumerate() {

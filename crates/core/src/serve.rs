@@ -24,14 +24,18 @@
 //!
 //! [`DbReader`]: datatrans_dataset::view::DbReader
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use datatrans_dataset::bucket::BucketIndex;
 use datatrans_dataset::characteristics::WorkloadCharacteristics;
 use datatrans_dataset::generator::NoiseConfig;
+use datatrans_dataset::perf_model::spec_ratio;
 use datatrans_dataset::query::MachineFilter;
 use datatrans_dataset::view::DatabaseView;
 use datatrans_dataset::DatasetError;
+use datatrans_linalg::Matrix;
 use datatrans_ml::ga::GaConfig;
 use datatrans_ml::mlp::MlpConfig;
 use datatrans_parallel::Parallelism;
@@ -97,6 +101,13 @@ pub enum ServeError {
         /// Offending value (counts are converted to `f64`).
         value: f64,
     },
+    /// An [`ApproxConfig`] parameter is outside its domain.
+    InvalidApprox {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: usize,
+    },
     /// `top_k: Some(0)` asks for an empty ranking — rejected up front so a
     /// wire client gets a clear error instead of paying full model
     /// evaluation for a confusing empty response.
@@ -136,6 +147,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidConfidence { name, value } => {
                 write!(f, "confidence parameter {name} out of domain: {value}")
+            }
+            ServeError::InvalidApprox { name, value } => {
+                write!(f, "approx parameter {name} out of domain: {value}")
             }
             ServeError::ZeroTopK => {
                 write!(
@@ -275,6 +289,67 @@ impl ConfidenceConfig {
     }
 }
 
+/// Parameters of the approximate serving fast path.
+///
+/// When a request carries one (and the engine is compiled with the
+/// `approx` feature, on by default), serving first **coarse-ranks** the
+/// catalog's PCA buckets: a [`BucketIndex`] built at
+/// `(n_components, n_buckets)` partitions the machines, the request's own
+/// model scores each candidate-holding bucket's reconstructed centroid
+/// column as a synthetic machine, and only machines inside the top
+/// `probe_buckets` buckets survive to exact evaluation — the rest are
+/// short-circuited. Survivor scores are bitwise-identical to the scores
+/// the same machines get under exact serving (every model predicts each
+/// target column independently), so the approximation error is purely
+/// *recall*: machines the coarse ranking wrongly pruned.
+///
+/// `probe_buckets >= n_buckets` provably serves the exact ranking (no
+/// bucket is pruned). Approx responses inherit the full determinism
+/// contract: bitwise-identical across thread counts, backings, batch
+/// order, and cache warmth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxConfig {
+    /// Principal components kept by the bucket index, in
+    /// `1..=n_benchmarks`. More components reconstruct more faithful
+    /// centroid columns (better coarse ranking, higher recall).
+    pub n_components: usize,
+    /// Buckets along the leading component, `>= 1`.
+    pub n_buckets: usize,
+    /// Best-scoring buckets whose members survive to exact evaluation,
+    /// in `1..=n_buckets`.
+    pub probe_buckets: usize,
+}
+
+impl ApproxConfig {
+    /// Validates every parameter against its documented domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidApprox`] naming the first offending
+    /// parameter.
+    pub fn validate(&self, n_benchmarks: usize) -> std::result::Result<(), ServeError> {
+        if self.n_components == 0 || self.n_components > n_benchmarks {
+            return Err(ServeError::InvalidApprox {
+                name: "n_components",
+                value: self.n_components,
+            });
+        }
+        if self.n_buckets == 0 {
+            return Err(ServeError::InvalidApprox {
+                name: "n_buckets",
+                value: self.n_buckets,
+            });
+        }
+        if self.probe_buckets == 0 || self.probe_buckets > self.n_buckets {
+            return Err(ServeError::InvalidApprox {
+                name: "probe_buckets",
+                value: self.probe_buckets,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// One ranking query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankRequest {
@@ -296,6 +371,11 @@ pub struct RankRequest {
     /// response (and its fingerprint) bitwise-identical to a request from
     /// before the confidence field existed.
     pub confidence: Option<ConfidenceConfig>,
+    /// When present, serving takes the PCA-bucketed approximate fast
+    /// path under these parameters. `None` leaves the response (and its
+    /// fingerprint) bitwise-identical to a request from before the field
+    /// existed.
+    pub approx: Option<ApproxConfig>,
 }
 
 /// One machine in a response's ranking.
@@ -347,6 +427,18 @@ pub struct RankConfidenceReport {
     pub tie_groups: Vec<Vec<usize>>,
 }
 
+/// The approx annex of a [`RankResponse`]: what the fast path pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxReport {
+    /// Buckets that held at least one candidate target machine.
+    pub buckets_total: usize,
+    /// Buckets whose members survived to exact evaluation (equals
+    /// `buckets_total` when nothing could be pruned).
+    pub buckets_probed: usize,
+    /// Candidate machines short-circuited before exact evaluation.
+    pub short_circuited: usize,
+}
+
 /// The answer to one [`RankRequest`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankResponse {
@@ -363,6 +455,10 @@ pub struct RankResponse {
     /// Rank-confidence intervals and tie groups; present exactly when the
     /// request carried a [`ConfidenceConfig`].
     pub confidence: Option<RankConfidenceReport>,
+    /// What the approximate fast path pruned; present exactly when the
+    /// request carried an [`ApproxConfig`] **and** the engine was
+    /// compiled with the `approx` feature.
+    pub approx: Option<ApproxReport>,
 }
 
 /// Model budgets and the batch fan-out configuration of the serving
@@ -502,7 +598,172 @@ fn validate_request<D: DatabaseView + ?Sized>(
     if let Some(confidence) = &request.confidence {
         confidence.validate()?;
     }
+    if let Some(approx) = &request.approx {
+        approx.validate(view.n_benchmarks())?;
+    }
     Ok(())
+}
+
+/// The bucket indexes one serving pass needs, keyed by
+/// `(n_components, n_buckets)` and built once per pass against the
+/// current catalog version — so every request in a batch shares one
+/// build, and an ingest between passes is picked up automatically
+/// (rebuilding is identical to building from scratch; the index holds no
+/// incremental state). A failed build is stored so the affected requests
+/// degrade to typed per-slot errors.
+type BucketIndexMap = HashMap<(usize, usize), std::result::Result<BucketIndex, DatasetError>>;
+
+/// Builds every distinct bucket index the batch's valid approx requests
+/// need. A no-op (empty map) without the `approx` feature.
+fn build_bucket_indices<D: DatabaseView + ?Sized>(
+    db: &D,
+    requests: &[RankRequest],
+) -> BucketIndexMap {
+    let mut map = BucketIndexMap::new();
+    if !cfg!(feature = "approx") {
+        return map;
+    }
+    for request in requests {
+        if let Some(approx) = &request.approx {
+            if approx.validate(db.n_benchmarks()).is_err() {
+                continue; // the request will fail validation, never probe
+            }
+            map.entry((approx.n_components, approx.n_buckets))
+                .or_insert_with(|| BucketIndex::build(db, approx.n_components, approx.n_buckets));
+        }
+    }
+    map
+}
+
+/// Builds the coarse prediction task: the request's real predictive side,
+/// but the target side replaced by the reconstructed centroid columns of
+/// `bucket_ids` — one synthetic "machine" per candidate bucket. Row
+/// selection mirrors the exact task exactly (leave-one-out drops the app
+/// row; an external app trains on the full suite).
+fn coarse_task<D: DatabaseView + ?Sized>(
+    view: &D,
+    request: &RankRequest,
+    index: &BucketIndex,
+    bucket_ids: &[usize],
+) -> std::result::Result<PredictionTask, ServeError> {
+    let train_benchmarks: Vec<usize> = match &request.app {
+        AppOfInterest::Suite(app) => (0..view.n_benchmarks()).filter(|b| b != app).collect(),
+        AppOfInterest::External(_) => (0..view.n_benchmarks()).collect(),
+    };
+    let train_predictive = view.gather(&train_benchmarks, &request.predictive);
+    let train_target = Matrix::from_fn(train_benchmarks.len(), bucket_ids.len(), |i, j| {
+        index.centroid_column(bucket_ids[j])[train_benchmarks[i]]
+    });
+    let app_predictive: Vec<f64> = match &request.app {
+        AppOfInterest::Suite(app) => request
+            .predictive
+            .iter()
+            .map(|&m| view.score(*app, m))
+            .collect(),
+        AppOfInterest::External(app) => request
+            .predictive
+            .iter()
+            .map(|&m| spec_ratio(&view.machines()[m].micro, app))
+            .collect(),
+    };
+    let train_characteristics = crate::task::characteristics_matrix(view, &train_benchmarks);
+    let app_characteristics = match &request.app {
+        AppOfInterest::Suite(app) => view.benchmarks()[*app].characteristics.to_mica_vector(),
+        AppOfInterest::External(app) => app.to_mica_vector(),
+    };
+    let task = PredictionTask {
+        train_predictive,
+        train_target,
+        app_predictive,
+        train_characteristics,
+        app_characteristics,
+        seed: request.seed,
+    };
+    task.validate()?;
+    Ok(task)
+}
+
+/// The approximate fast path: coarse-rank the candidate buckets by
+/// centroid score with the request's own model, keep the top
+/// `probe_buckets`, and return the surviving candidates (in planned
+/// order) plus the annex. Returns the full candidate set untouched when
+/// the request carries no [`ApproxConfig`] or the `approx` feature is
+/// compiled out.
+fn approx_filter<D: DatabaseView + ?Sized>(
+    view: &D,
+    request: &RankRequest,
+    config: &ServeConfig,
+    cache: &mut ModelCache,
+    indices: &BucketIndexMap,
+    targets: Vec<usize>,
+) -> std::result::Result<(Vec<usize>, Option<ApproxReport>), ServeError> {
+    let Some(approx) = &request.approx else {
+        return Ok((targets, None));
+    };
+    if !cfg!(feature = "approx") {
+        return Ok((targets, None));
+    }
+    let index = match indices.get(&(approx.n_components, approx.n_buckets)) {
+        Some(Ok(index)) => index,
+        Some(Err(e)) => return Err(ServeError::Evaluation(CoreError::Dataset(e.clone()))),
+        None => {
+            return Err(ServeError::Invariant {
+                what: "bucket index missing for an approx request",
+            })
+        }
+    };
+    if index.n_machines() != view.n_machines() {
+        return Err(ServeError::Invariant {
+            what: "bucket index covers a different catalog than the view",
+        });
+    }
+    // Candidate buckets: every bucket holding at least one target,
+    // ascending bucket id.
+    let mut bucket_ids: Vec<usize> = targets.iter().map(|&m| index.bucket_of(m)).collect();
+    bucket_ids.sort_unstable();
+    bucket_ids.dedup();
+    let buckets_total = bucket_ids.len();
+    if buckets_total <= approx.probe_buckets {
+        // Nothing can be pruned: provably the exact ranking.
+        return Ok((
+            targets,
+            Some(ApproxReport {
+                buckets_total,
+                buckets_probed: buckets_total,
+                short_circuited: 0,
+            }),
+        ));
+    }
+    let coarse = coarse_task(view, request, index, &bucket_ids)?;
+    let scores = {
+        let model = cache.get(request.model, config)?;
+        model.predict(&coarse)?
+    };
+    // Best-scoring buckets first; ties (and any non-finite score, via the
+    // IEEE total order) break toward the lower bucket id, so the ranking
+    // is a pure function of the scores.
+    let mut order: Vec<usize> = (0..buckets_total).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .total_cmp(&scores[a])
+            .then_with(|| bucket_ids[a].cmp(&bucket_ids[b]))
+    });
+    let mut keep: Vec<usize> = order[..approx.probe_buckets]
+        .iter()
+        .map(|&pos| bucket_ids[pos])
+        .collect();
+    keep.sort_unstable();
+    let before = targets.len();
+    let survivors: Vec<usize> = targets
+        .into_iter()
+        .filter(|&m| keep.binary_search(&index.bucket_of(m)).is_ok())
+        .collect();
+    let report = ApproxReport {
+        buckets_total,
+        buckets_probed: approx.probe_buckets,
+        short_circuited: before - survivors.len(),
+    };
+    Ok((survivors, Some(report)))
 }
 
 /// Computes the rank-confidence annex: synthesize `repeats` noisy
@@ -575,6 +836,7 @@ fn serve_with<D: DatabaseView + ?Sized>(
     request: &RankRequest,
     config: &ServeConfig,
     cache: &mut ModelCache,
+    indices: &BucketIndexMap,
 ) -> std::result::Result<RankResponse, ServeError> {
     validate_request(view, request)?;
     let plan = view.plan_machines(&request.restrict);
@@ -585,6 +847,12 @@ fn serve_with<D: DatabaseView + ?Sized>(
         .filter(|m| !request.predictive.contains(m))
         .collect();
     if targets.is_empty() {
+        return Err(ServeError::EmptyCandidates);
+    }
+    let (targets, approx) = approx_filter(view, request, config, cache, indices, targets)?;
+    if targets.is_empty() {
+        // Unreachable by construction (the kept buckets each hold at
+        // least one target), but a typed error beats an empty ranking.
         return Err(ServeError::EmptyCandidates);
     }
     let task = match &request.app {
@@ -624,6 +892,7 @@ fn serve_with<D: DatabaseView + ?Sized>(
         shards_scanned: plan.shards_scanned,
         shards_pruned: plan.shards_pruned,
         confidence,
+        approx,
     })
 }
 
@@ -642,7 +911,8 @@ pub fn serve_one<D: DatabaseView + ?Sized>(
     config: &ServeConfig,
 ) -> std::result::Result<RankResponse, ServeError> {
     let mut cache = ModelCache::default();
-    serve_with(db, request, config, &mut cache)
+    let indices = build_bucket_indices(db, std::slice::from_ref(request));
+    serve_with(db, request, config, &mut cache, &indices)
 }
 
 /// Serves a batch of requests in one pass over the persistent worker
@@ -663,11 +933,15 @@ pub fn serve_batch<D: DatabaseView + ?Sized>(
     requests: &[RankRequest],
     config: &ServeConfig,
 ) -> Vec<std::result::Result<RankResponse, ServeError>> {
+    // One shared index build per distinct (n_components, n_buckets) pair
+    // across the whole batch; built on the batch thread so every worker
+    // sees the identical (bitwise) index regardless of thread count.
+    let indices = build_bucket_indices(db, requests);
     config.parallelism.par_map_with(
         2,
         requests,
         || (db.reader(), ModelCache::default()),
-        |(reader, cache), request| serve_with(reader, request, config, cache),
+        |(reader, cache), request| serve_with(reader, request, config, cache, &indices),
     )
 }
 
@@ -787,6 +1061,7 @@ mod tests {
             top_k: Some(5),
             seed: 7,
             confidence: None,
+            approx: None,
         };
         let response = serve_one(&db, &request, &quick()).unwrap();
         assert_eq!(response.method, "NN^T");
@@ -814,6 +1089,7 @@ mod tests {
             top_k: None,
             seed: 1,
             confidence: None,
+            approx: None,
         };
         let response = serve_one(&db, &request, &quick()).unwrap();
         assert_eq!(response.candidates, xeons.len() - 2);
@@ -833,6 +1109,7 @@ mod tests {
             top_k: Some(3),
             seed: 9,
             confidence: None,
+            approx: None,
         };
         let response = serve_one(&db, &request, &quick()).unwrap();
         assert_eq!(response.method, "MLP^T");
@@ -852,6 +1129,7 @@ mod tests {
             top_k: None,
             seed: 0,
             confidence: None,
+            approx: None,
         }
     }
 
@@ -1004,6 +1282,7 @@ mod tests {
             top_k: Some(4),
             seed: i as u64,
             confidence: None,
+            approx: None,
         })
         .collect();
         let batch = serve_batch(&db, &requests, &quick());
@@ -1026,6 +1305,7 @@ mod tests {
             top_k: Some(5),
             seed: 7,
             confidence: None,
+            approx: None,
         };
         let dense_response = serve_one(&db, &request, &quick()).unwrap();
         let sharded_response = serve_one(&sharded, &request, &quick()).unwrap();
@@ -1050,6 +1330,7 @@ mod tests {
                 top_k: Some(4),
                 seed: i as u64,
                 confidence: None,
+                approx: None,
             })
             .collect();
         let cold = serve_batch(&db, &requests, &quick());
@@ -1080,6 +1361,7 @@ mod tests {
             top_k: Some(4),
             seed: 1,
             confidence: None,
+            approx: None,
         }];
         let mut cache = crate::cache::ResultCache::new(8);
         serve_batch_cached(&db, &requests, &quick(), &mut cache);
@@ -1236,6 +1518,7 @@ mod tests {
             &db,
             &RankRequest {
                 confidence: None,
+                approx: None,
                 ..request.clone()
             },
             &quick(),
@@ -1275,5 +1558,197 @@ mod tests {
             a.confidence.as_ref().unwrap().ranked,
             c.confidence.as_ref().unwrap().ranked
         );
+    }
+
+    #[test]
+    fn invalid_approx_is_a_typed_error() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let reference = ApproxConfig {
+            n_components: 2,
+            n_buckets: 8,
+            probe_buckets: 3,
+        };
+        for (approx, name) in [
+            (
+                ApproxConfig {
+                    n_components: 0,
+                    ..reference
+                },
+                "n_components",
+            ),
+            (
+                ApproxConfig {
+                    n_components: 30,
+                    ..reference
+                },
+                "n_components",
+            ),
+            (
+                ApproxConfig {
+                    n_buckets: 0,
+                    probe_buckets: 0,
+                    ..reference
+                },
+                "n_buckets",
+            ),
+            (
+                ApproxConfig {
+                    probe_buckets: 0,
+                    ..reference
+                },
+                "probe_buckets",
+            ),
+            (
+                ApproxConfig {
+                    probe_buckets: 9,
+                    ..reference
+                },
+                "probe_buckets",
+            ),
+        ] {
+            let request = RankRequest {
+                approx: Some(approx),
+                ..base_request()
+            };
+            match serve_one(&db, &request, &quick()) {
+                Err(ServeError::InvalidApprox { name: got, .. }) => assert_eq!(got, name),
+                other => panic!("expected InvalidApprox for {name}, got {other:?}"),
+            }
+        }
+    }
+
+    #[cfg(feature = "approx")]
+    #[test]
+    fn approx_prunes_and_survivor_scores_match_exact_bits() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let exact = RankRequest {
+            predictive: vec![0, 30, 60],
+            ..base_request()
+        };
+        let approximate = RankRequest {
+            approx: Some(ApproxConfig {
+                n_components: 2,
+                n_buckets: 8,
+                probe_buckets: 2,
+            }),
+            ..exact.clone()
+        };
+        let exact_response = serve_one(&db, &exact, &quick()).unwrap();
+        assert!(exact_response.approx.is_none());
+        let approx_response = serve_one(&db, &approximate, &quick()).unwrap();
+        let report = approx_response.approx.expect("annex requested");
+        assert!(report.buckets_probed < report.buckets_total);
+        assert!(report.short_circuited > 0);
+        assert_eq!(
+            approx_response.candidates + report.short_circuited,
+            exact_response.candidates
+        );
+        // Survivor scores are bitwise the exact path's scores for the same
+        // machines: the models predict each target column independently.
+        let exact_scores: HashMap<usize, u64> = exact_response
+            .ranked
+            .iter()
+            .map(|r| (r.machine, r.predicted_score.to_bits()))
+            .collect();
+        for r in &approx_response.ranked {
+            assert_eq!(
+                exact_scores[&r.machine],
+                r.predicted_score.to_bits(),
+                "machine {}",
+                r.machine
+            );
+        }
+        // Survivors rank in the same relative order as under exact serving.
+        let approx_machines: Vec<usize> =
+            approx_response.ranked.iter().map(|r| r.machine).collect();
+        let exact_filtered: Vec<usize> = exact_response
+            .ranked
+            .iter()
+            .map(|r| r.machine)
+            .filter(|m| approx_machines.contains(m))
+            .collect();
+        assert_eq!(approx_machines, exact_filtered);
+    }
+
+    #[cfg(feature = "approx")]
+    #[test]
+    fn probing_every_bucket_is_provably_exact() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let exact = RankRequest {
+            predictive: vec![0, 30, 60],
+            top_k: Some(10),
+            ..base_request()
+        };
+        let approximate = RankRequest {
+            approx: Some(ApproxConfig {
+                n_components: 2,
+                n_buckets: 6,
+                probe_buckets: 6,
+            }),
+            ..exact.clone()
+        };
+        let exact_response = serve_one(&db, &exact, &quick()).unwrap();
+        let approx_response = serve_one(&db, &approximate, &quick()).unwrap();
+        let report = approx_response.approx.expect("annex requested");
+        assert_eq!(report.short_circuited, 0);
+        assert_eq!(report.buckets_probed, report.buckets_total);
+        assert_eq!(approx_response.ranked, exact_response.ranked);
+        for (a, e) in approx_response.ranked.iter().zip(&exact_response.ranked) {
+            assert_eq!(a.predicted_score.to_bits(), e.predicted_score.to_bits());
+        }
+    }
+
+    #[cfg(feature = "approx")]
+    #[test]
+    fn approx_is_bitwise_identical_across_backings_and_batch_order() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let sharded = ShardedPerfDatabase::from_dense(&db, 8).unwrap();
+        let requests: Vec<RankRequest> = (0..3)
+            .map(|i| RankRequest {
+                app: AppOfInterest::Suite(i),
+                predictive: vec![0, 30, 60],
+                seed: i as u64,
+                approx: Some(ApproxConfig {
+                    n_components: 2,
+                    n_buckets: 8,
+                    probe_buckets: 2,
+                }),
+                ..base_request()
+            })
+            .collect();
+        let dense = serve_batch(&db, &requests, &quick());
+        let reversed: Vec<RankRequest> = requests.iter().rev().cloned().collect();
+        let on_sharded = serve_batch(&sharded, &reversed, &quick());
+        for (i, result) in dense.iter().enumerate() {
+            let a = result.as_ref().unwrap();
+            let b = on_sharded[requests.len() - 1 - i].as_ref().unwrap();
+            assert_eq!(a.ranked, b.ranked);
+            assert_eq!(a.approx, b.approx);
+            for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                assert_eq!(x.predicted_score.to_bits(), y.predicted_score.to_bits());
+            }
+        }
+    }
+
+    #[cfg(not(feature = "approx"))]
+    #[test]
+    fn without_the_feature_approx_requests_serve_exactly() {
+        let db = generate(&DatasetConfig::default()).unwrap();
+        let exact = RankRequest {
+            predictive: vec![0, 30, 60],
+            ..base_request()
+        };
+        let approximate = RankRequest {
+            approx: Some(ApproxConfig {
+                n_components: 2,
+                n_buckets: 8,
+                probe_buckets: 2,
+            }),
+            ..exact.clone()
+        };
+        let exact_response = serve_one(&db, &exact, &quick()).unwrap();
+        let approx_response = serve_one(&db, &approximate, &quick()).unwrap();
+        assert!(approx_response.approx.is_none());
+        assert_eq!(approx_response.ranked, exact_response.ranked);
     }
 }

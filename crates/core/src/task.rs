@@ -260,7 +260,10 @@ fn score_submatrix<D: DatabaseView + ?Sized>(
     db.gather(benchmarks, machines)
 }
 
-fn characteristics_matrix<D: DatabaseView + ?Sized>(db: &D, benchmarks: &[usize]) -> Matrix {
+pub(crate) fn characteristics_matrix<D: DatabaseView + ?Sized>(
+    db: &D,
+    benchmarks: &[usize],
+) -> Matrix {
     let dim = WorkloadCharacteristics::MICA_DIMS;
     let mut m = Matrix::zeros(benchmarks.len(), dim);
     for (i, &b) in benchmarks.iter().enumerate() {

@@ -42,6 +42,12 @@ pub enum DatasetError {
         /// The offending entry's score count.
         got: usize,
     },
+    /// Building a serving index over the catalog failed (degenerate
+    /// scores, too few machines for the projection, …).
+    IndexBuild {
+        /// Why the build failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -64,6 +70,9 @@ impl fmt::Display for DatasetError {
                     f,
                     "ingest entry scores {got} benchmarks, database has {expected}"
                 )
+            }
+            DatasetError::IndexBuild { reason } => {
+                write!(f, "index build failed: {reason}")
             }
         }
     }

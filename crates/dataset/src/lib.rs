@@ -34,6 +34,10 @@
 //!   and the shard-pruning planner: per-shard statistics
 //!   ([`query::ShardStats`]) let the sharded backing skip shards that
 //!   provably cannot match, with plans identical to a full scan.
+//! * [`bucket`] — the PCA bucket index ([`bucket::BucketIndex`]) behind
+//!   approximate serving: machines projected into log-score component
+//!   space and sliced into equal-width buckets along the leading
+//!   component, with reconstructed centroid columns for coarse ranking.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@
 mod error;
 
 pub mod benchmark;
+pub mod bucket;
 pub mod catalog;
 pub mod characteristics;
 pub mod database;
@@ -68,6 +73,7 @@ pub mod sharded;
 pub mod view;
 pub mod workload_synth;
 
+pub use bucket::BucketIndex;
 pub use database::MachineIngest;
 pub use error::DatasetError;
 pub use query::{MachineFilter, QueryPlan, ShardStats};

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|net-serve|robustness|diag|all]
+//! repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|net-serve|robustness|approx|diag|all]
 //! ```
 
 use std::env;
@@ -9,12 +9,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use datatrans_experiments::{
-    ablation, fig6, fig7, fig8, net_serve, robustness, serve, table2, table3, table4,
+    ablation, approx, fig6, fig7, fig8, net_serve, robustness, serve, table2, table3, table4,
     ExperimentConfig,
 };
 
 fn usage() -> &'static str {
-    "usage: repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|net-serve|robustness|diag|all]\n\
+    "usage: repro [--quick] [--seed N] [--shards N] [--ingest] [table2|table3|table4|fig6|fig7|fig8|ablation|serve|net-serve|robustness|approx|diag|all]\n\
      \n\
      --quick     reduced budgets (fewer apps/trials/epochs) for a fast pass\n\
      --seed N    dataset + experiment seed (default: paper-run seed)\n\
@@ -31,7 +31,10 @@ fn usage() -> &'static str {
                  in-process serving and reports end-to-end p50/p99 latency\n\
      robustness  sweep measurement noise over the catalog and report each\n\
                  model's rank-correlation-vs-noise curve (dense and\n\
-                 sharded backings verified bitwise-identical)\n"
+                 sharded backings verified bitwise-identical)\n\
+     approx      sweep the PCA-bucketed approximate serving frontier:\n\
+                 recall@top-k, Spearman rho vs exact, and speedup per\n\
+                 (n_components, probe_buckets) operating point\n"
 }
 
 fn main() -> ExitCode {
@@ -87,6 +90,7 @@ fn main() -> ExitCode {
             "serve" => serve::run(&config).map(|r| println!("{r}")),
             "net-serve" => net_serve::run(&config).map(|r| println!("{r}")),
             "robustness" => robustness::run(&config).map(|r| println!("{r}")),
+            "approx" => approx::run(&config).map(|r| println!("{r}")),
             "diag" => diagnose(&config),
             "all" => run_all(&config),
             other => {

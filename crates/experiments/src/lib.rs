@@ -19,7 +19,9 @@
 //! serving and reporting p50/p99 latency), and [`robustness`] sweeps
 //! measurement noise over the catalog to produce perturbation-robustness
 //! curves (rank correlation of each model's served ranking vs noise
-//! level, dense and sharded).
+//! level, dense and sharded), and [`approx`] sweeps the PCA-bucketed
+//! approximate serving frontier (recall@top-k, Spearman ρ vs exact, and
+//! speedup per `(n_components, probe_buckets)` operating point).
 //!
 //! Each module exposes `run(&ExperimentConfig) -> Result<...Result>` whose
 //! output implements `Display`, printing rows in the paper's format. The
@@ -30,6 +32,7 @@
 #![deny(unsafe_code)]
 
 pub mod ablation;
+pub mod approx;
 pub mod config;
 pub mod fig6;
 pub mod fig7;

@@ -88,6 +88,7 @@ fn ranking_requests<D: DatabaseView + ?Sized>(
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(app as u64),
                 confidence: None,
+                approx: None,
             });
         }
     }

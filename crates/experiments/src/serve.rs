@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use datatrans_core::cache::ResultCache;
 use datatrans_core::serve::{
-    serve_batch_cached, AppOfInterest, CachedBatch, ModelKind, RankRequest, RankResponse,
-    ServeError,
+    serve_batch_cached, AppOfInterest, ApproxConfig, CachedBatch, ModelKind, RankRequest,
+    RankResponse, ServeError,
 };
 use datatrans_core::CoreError;
 use datatrans_dataset::generator::synthesize_ingest;
@@ -53,6 +53,11 @@ pub struct ServeResult {
     pub cache_invalidations: u64,
     /// Machines pushed by the ingest-interleaved mode (0 otherwise).
     pub ingested_machines: usize,
+    /// Responses served through the approximate fast path (annex present).
+    pub approx_requests: u64,
+    /// Candidate machines the approximate path short-circuited past exact
+    /// evaluation, summed over all approx responses.
+    pub machines_short_circuited: u64,
     /// Wall-clock seconds for the batch (the one non-deterministic field).
     pub elapsed_secs: f64,
 }
@@ -111,6 +116,14 @@ pub fn synth_requests<D: DatabaseView + ?Sized>(
             labels.push(format!("{:<8} {:<16} {what}", model.name(), profile));
             AppOfInterest::External(synthesize(profile, seed.wrapping_add(i as u64)))
         };
+        // Every fifth request opts into the approximate fast path, so the
+        // mix exercises exact and approx serving side by side (with the
+        // `approx` feature compiled out these serve exactly, annex-free).
+        let approx = (i % 5 == 4).then_some(ApproxConfig {
+            n_components: 2,
+            n_buckets: 8,
+            probe_buckets: 3,
+        });
         requests.push(RankRequest {
             app,
             model,
@@ -121,6 +134,7 @@ pub fn synth_requests<D: DatabaseView + ?Sized>(
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(i as u64),
             confidence: None,
+            approx,
         });
     }
     (requests, labels)
@@ -183,6 +197,12 @@ pub fn run(config: &ExperimentConfig) -> Result<ServeResult> {
         (respond(cold)?, 0)
     };
     let elapsed_secs = started.elapsed().as_secs_f64();
+    let approx_requests = responses.iter().filter(|r| r.approx.is_some()).count() as u64;
+    let machines_short_circuited = responses
+        .iter()
+        .filter_map(|r| r.approx.as_ref())
+        .map(|a| a.short_circuited as u64)
+        .sum();
     Ok(ServeResult {
         responses,
         labels,
@@ -191,6 +211,8 @@ pub fn run(config: &ExperimentConfig) -> Result<ServeResult> {
         cache_misses: misses,
         cache_invalidations: invalidations,
         ingested_machines,
+        approx_requests,
+        machines_short_circuited,
         elapsed_secs,
     })
 }
@@ -253,6 +275,13 @@ impl fmt::Display for ServeResult {
             write!(f, " (ingested {} machines)", self.ingested_machines)?;
         }
         writeln!(f)?;
+        if self.approx_requests > 0 {
+            writeln!(
+                f,
+                "approx: {} requests served approximately, {} candidates short-circuited",
+                self.approx_requests, self.machines_short_circuited
+            )?;
+        }
         writeln!(
             f,
             "throughput: {:.1} queries/s ({:.2}s wall)",
@@ -314,6 +343,23 @@ mod tests {
         let text = result.to_string();
         assert!(text.contains("cache: 6 hits, 12 misses, 6 invalidated"));
         assert!(text.contains("ingested 8 machines"));
+    }
+
+    #[cfg(feature = "approx")]
+    #[test]
+    fn approx_counters_track_the_mix() {
+        // trial_scale 1.0 keeps all 10 requests, so the mix includes the
+        // two approx opt-ins at i = 4 and i = 9.
+        let config = ExperimentConfig {
+            serve_requests: 10,
+            trial_scale: 1.0,
+            ..quick_serve_config()
+        };
+        let result = run(&config).unwrap();
+        assert_eq!(result.approx_requests, 2);
+        assert!(result.machines_short_circuited > 0);
+        let text = result.to_string();
+        assert!(text.contains("approx: 2 requests served approximately"));
     }
 
     #[test]

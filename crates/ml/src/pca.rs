@@ -5,6 +5,7 @@
 //! methodology of Eeckhout et al. cited in the paper's related work.
 
 use datatrans_linalg::decomp::symmetric_eigen;
+use datatrans_linalg::kernels;
 use datatrans_linalg::Matrix;
 
 use crate::{MlError, Result};
@@ -44,8 +45,9 @@ impl Pca {
     ///
     /// # Errors
     ///
-    /// * [`MlError::InvalidInput`] if `data` has fewer than 2 rows or is
-    ///   non-finite.
+    /// * [`MlError::InvalidInput`] if `data` has fewer than 2 rows, is
+    ///   non-finite, or has zero total variance (every feature constant
+    ///   across samples — the principal axes would be arbitrary).
     /// * [`MlError::InvalidParameter`] if `n_components` is zero or exceeds
     ///   the feature count.
     /// * [`MlError::Linalg`] if the eigendecomposition fails.
@@ -93,6 +95,11 @@ impl Pca {
         }
         let eig = symmetric_eigen(&cov)?;
         let total_variance: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        if total_variance == 0.0 {
+            return Err(MlError::invalid_input(
+                "constant-variance data: every feature is constant across samples",
+            ));
+        }
         let explained_variance: Vec<f64> = eig.values[..n_components]
             .iter()
             .map(|v| v.max(0.0))
@@ -108,6 +115,12 @@ impl Pca {
 
     /// Projects samples into component space (rows = samples).
     ///
+    /// The inner products run through the fixed 4-lane summation tree of
+    /// [`datatrans_linalg::kernels`] ([`kernels::dot_strided`] over the
+    /// row-major component columns), so projections are bitwise-identical
+    /// to gathering each component column and calling [`kernels::dot_ref`]
+    /// — the same determinism contract the GEMV paths obey.
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidInput`] on feature-count mismatch.
@@ -119,14 +132,50 @@ impl Pca {
                 self.mean.len()
             )));
         }
+        let p = self.mean.len();
         let k = self.components.cols();
-        Ok(Matrix::from_fn(data.rows(), k, |i, j| {
-            let mut s = 0.0;
-            for f in 0..self.mean.len() {
-                s += (data[(i, f)] - self.mean[f]) * self.components[(f, j)];
+        let mut out = Matrix::zeros(data.rows(), k);
+        let mut centered = vec![0.0; p];
+        for i in 0..data.rows() {
+            let row = data.row(i);
+            for (c, (&v, &m)) in centered.iter_mut().zip(row.iter().zip(&self.mean)) {
+                *c = v - m;
             }
-            s
-        }))
+            // Component j is the strided column `j, j+k, j+2k, …` of the
+            // row-major `p × k` components matrix.
+            let row_out = out.row_mut(i);
+            for (j, slot) in row_out.iter_mut().enumerate() {
+                *slot = kernels::dot_strided(self.components.as_slice(), j, k, &centered);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projects one sample into component space.
+    ///
+    /// Bitwise-identical to the matching row of [`Pca::transform`] (same
+    /// kernel, same operand order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidInput`] on feature-count mismatch.
+    pub fn project(&self, sample: &[f64]) -> Result<Vec<f64>> {
+        if sample.len() != self.mean.len() {
+            return Err(MlError::invalid_input(format!(
+                "sample has {} features, PCA fitted on {}",
+                sample.len(),
+                self.mean.len()
+            )));
+        }
+        let k = self.components.cols();
+        let centered: Vec<f64> = sample
+            .iter()
+            .zip(&self.mean)
+            .map(|(&v, &m)| v - m)
+            .collect();
+        Ok((0..k)
+            .map(|j| kernels::dot_strided(self.components.as_slice(), j, k, &centered))
+            .collect())
     }
 
     /// Variance captured by each kept component.
@@ -148,6 +197,16 @@ impl Pca {
     /// Number of components kept.
     pub fn n_components(&self) -> usize {
         self.components.cols()
+    }
+
+    /// Column means of the training data (the centering offset).
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Principal axes as matrix columns (`features × components`).
+    pub fn components(&self) -> &Matrix {
+        &self.components
     }
 }
 
@@ -206,6 +265,55 @@ mod tests {
         let pca = Pca::fit(&data, 3).unwrap();
         let ratios = pca.explained_variance_ratio();
         assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_is_bitwise_pinned_to_the_scalar_reference() {
+        use datatrans_linalg::kernels::dot_ref;
+        let mut rows = Vec::new();
+        for i in 0..12 {
+            let t = i as f64;
+            rows.push(vec![
+                3.0 * t + 0.25,
+                (t * 0.7).sin() * 5.0,
+                t * t * 0.01 - 1.0,
+                1.0 / (t + 1.0),
+                t.mul_add(0.3, -2.0),
+            ]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = Matrix::from_rows(&refs).unwrap();
+        let pca = Pca::fit(&data, 3).unwrap();
+        let scores = pca.transform(&data).unwrap();
+        for (i, row) in data.iter_rows().enumerate() {
+            let centered: Vec<f64> = row.iter().zip(pca.mean()).map(|(&v, &m)| v - m).collect();
+            let projected = pca.project(row).unwrap();
+            for j in 0..3 {
+                // Scalar specification: gather component column j densely,
+                // then the reference 4-lane dot.
+                let column: Vec<f64> = (0..row.len()).map(|f| pca.components()[(f, j)]).collect();
+                let want = dot_ref(&centered, &column);
+                assert_eq!(
+                    scores[(i, j)].to_bits(),
+                    want.to_bits(),
+                    "sample {i} comp {j}"
+                );
+                assert_eq!(
+                    projected[j].to_bits(),
+                    want.to_bits(),
+                    "project {i} comp {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_variance_input_is_a_typed_error() {
+        let data = Matrix::from_rows(&[&[2.0, 5.0], &[2.0, 5.0], &[2.0, 5.0]]).unwrap();
+        assert!(matches!(
+            Pca::fit(&data, 1),
+            Err(MlError::InvalidInput { .. })
+        ));
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //!             | "top_k="      COUNT
 //!             | "seed="       U64                                 ; default 0
 //!             | "confidence=" LEVEL "," SIGMA "," REPEATS "," RESAMPLES
+//!             | "approx="     COMPONENTS "," BUCKETS "," PROBES
 //!
 //! response   := "ok pong"                                          ; to "ping"
 //!             | "ok method=" NAME " candidates=" COUNT
 //!               " shards=" SCANNED "/" PRUNED
 //!               " ranked=" MACHINE ":" SCORE ("," MACHINE ":" SCORE)*
 //!               [" confidence=" LEVEL " ci=" CI ("," CI)* " ties=" GROUPS]
+//!               [" approx=" TOTAL "/" PROBED " short_circuited=" COUNT]
 //!             | "err " CODE " " MESSAGE
 //! CI         := MACHINE ":" RANK ":" LOWER ":" UPPER ":" SCORE-LO ":" SCORE-HI ":" GROUP
 //! GROUPS     := MEMBERS ("|" MEMBERS)*   ; MEMBERS := MACHINE ("," MACHINE)*
@@ -40,7 +42,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use datatrans_core::serve::{
-    AppOfInterest, ConfidenceConfig, ModelKind, RankRequest, RankResponse, ServeError,
+    AppOfInterest, ApproxConfig, ConfidenceConfig, ModelKind, RankRequest, RankResponse, ServeError,
 };
 use datatrans_dataset::characteristics::WorkloadCharacteristics;
 use datatrans_dataset::machine::ProcessorFamily;
@@ -380,6 +382,24 @@ fn parse_confidence(value: &str) -> Result<ConfidenceConfig, ProtocolError> {
     })
 }
 
+fn parse_approx(value: &str) -> Result<ApproxConfig, ProtocolError> {
+    const KEY: &str = "approx";
+    let bad = || ProtocolError::BadValue {
+        key: KEY,
+        value: echo(value),
+        expected: "<n_components>,<n_buckets>,<probe_buckets>",
+    };
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    Ok(ApproxConfig {
+        n_components: parts[0].parse::<usize>().map_err(|_| bad())?,
+        n_buckets: parts[1].parse::<usize>().map_err(|_| bad())?,
+        probe_buckets: parts[2].parse::<usize>().map_err(|_| bad())?,
+    })
+}
+
 /// One optional attribute slot that rejects duplicates.
 struct Slot<T> {
     key: &'static str,
@@ -416,6 +436,7 @@ fn parse_rank<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<Command, Prot
     let mut top_k = Slot::new("top_k");
     let mut seed = Slot::new("seed");
     let mut confidence = Slot::new("confidence");
+    let mut approx = Slot::new("approx");
     for token in tokens {
         let (key, value) = token
             .split_once('=')
@@ -455,6 +476,7 @@ fn parse_rank<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<Command, Prot
                 "an unsigned 64-bit seed",
             )?)?,
             "confidence" => confidence.fill(parse_confidence(value)?)?,
+            "approx" => approx.fill(parse_approx(value)?)?,
             other => {
                 return Err(ProtocolError::UnknownAttribute { key: echo(other) });
             }
@@ -475,6 +497,7 @@ fn parse_rank<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<Command, Prot
         top_k: top_k.value,
         seed: seed.value.unwrap_or(0),
         confidence: confidence.value,
+        approx: approx.value,
     })))
 }
 
@@ -573,6 +596,13 @@ pub fn write_request(request: &RankRequest) -> String {
             c.level, c.sigma, c.repeats, c.resamples
         );
     }
+    if let Some(a) = &request.approx {
+        let _ = write!(
+            out,
+            " approx={},{},{}",
+            a.n_components, a.n_buckets, a.probe_buckets
+        );
+    }
     out
 }
 
@@ -586,6 +616,7 @@ pub fn serve_error_code(error: &ServeError) -> &'static str {
         ServeError::InvalidRestriction { .. } => "invalid-restriction",
         ServeError::EmptyCandidates => "empty-candidates",
         ServeError::InvalidConfidence { .. } => "invalid-confidence",
+        ServeError::InvalidApprox { .. } => "invalid-approx",
         ServeError::ZeroTopK => "zero-top-k",
         ServeError::Invariant { .. } => "invariant",
         ServeError::Evaluation(_) => "evaluation",
@@ -633,6 +664,13 @@ pub fn write_response(response: &RankResponse) -> String {
             push_index_list(&mut out, group);
         }
     }
+    if let Some(approx) = &response.approx {
+        let _ = write!(
+            out,
+            " approx={}/{} short_circuited={}",
+            approx.buckets_total, approx.buckets_probed, approx.short_circuited
+        );
+    }
     out
 }
 
@@ -665,6 +703,7 @@ mod tests {
             top_k: Some(5),
             seed: 7,
             confidence: None,
+            approx: None,
         }
     }
 
@@ -688,6 +727,15 @@ mod tests {
                 ..MachineFilter::default()
             },
             seed: u64::MAX,
+            ..sample_request()
+        });
+        requests.push(RankRequest {
+            approx: Some(ApproxConfig {
+                n_components: 2,
+                n_buckets: 8,
+                probe_buckets: 3,
+            }),
+            confidence: Some(ConfidenceConfig::default()),
             ..sample_request()
         });
         for request in requests {
@@ -747,6 +795,26 @@ mod tests {
                 "bad-value",
             ),
             (b"rank noequals app=suite:0", "bad-value"),
+            (
+                b"rank model=nnt app=suite:0 predictive=0 approx=2,8",
+                "bad-value",
+            ),
+            (
+                b"rank model=nnt app=suite:0 predictive=0 approx=2,8,3,1",
+                "bad-value",
+            ),
+            (
+                b"rank model=nnt app=suite:0 predictive=0 approx=2,eight,3",
+                "bad-value",
+            ),
+            (
+                b"rank model=nnt app=suite:0 predictive=0 approx=-2,8,3",
+                "bad-value",
+            ),
+            (
+                b"rank model=nnt app=suite:0 predictive=0 approx=2,8,3 approx=2,8,3",
+                "dup-attr",
+            ),
         ];
         for (line, code) in cases {
             match parse_line(line) {

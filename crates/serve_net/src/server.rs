@@ -114,6 +114,12 @@ pub struct ServerStats {
     pub invalidations: u64,
     /// Malformed lines answered with an `err` line.
     pub protocol_errors: u64,
+    /// Requests served through the approximate fast path (response
+    /// carried an approx annex).
+    pub approx_requests: u64,
+    /// Candidate machines the approximate path short-circuited past exact
+    /// evaluation, summed over all approx responses.
+    pub machines_short_circuited: u64,
 }
 
 /// Shared atomic counters behind [`ServerStats`].
@@ -127,6 +133,8 @@ struct SharedStats {
     misses: AtomicU64,
     invalidations: AtomicU64,
     protocol_errors: AtomicU64,
+    approx_requests: AtomicU64,
+    machines_short_circuited: AtomicU64,
 }
 
 impl SharedStats {
@@ -140,6 +148,8 @@ impl SharedStats {
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            approx_requests: self.approx_requests.load(Ordering::Relaxed),
+            machines_short_circuited: self.machines_short_circuited.load(Ordering::Relaxed),
         }
     }
 }
@@ -590,6 +600,20 @@ fn run_batcher(
             stats
                 .max_batch_len
                 .fetch_max(requests.len() as u64, Ordering::Relaxed);
+            let mut approx_requests = 0;
+            let mut short_circuited = 0;
+            for response in batch.responses.iter().flatten() {
+                if let Some(report) = &response.approx {
+                    approx_requests += 1;
+                    short_circuited += report.short_circuited as u64;
+                }
+            }
+            stats
+                .approx_requests
+                .fetch_add(approx_requests, Ordering::Relaxed);
+            stats
+                .machines_short_circuited
+                .fetch_add(short_circuited, Ordering::Relaxed);
             for (&slot, result) in positions.iter().zip(batch.responses.iter()) {
                 rendered[slot] = Some(render_result(result));
             }
@@ -633,6 +657,7 @@ mod tests {
             top_k: Some(5),
             seed,
             confidence: None,
+            approx: None,
         }
     }
 

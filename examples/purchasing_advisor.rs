@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 top_k: Some(5),
                 seed: 77,
                 confidence: None,
+                approx: None,
             });
         }
     }
@@ -121,6 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         top_k: Some(3),
         seed: 77,
         confidence: None,
+        approx: None,
     };
     let response = serve_batch(&sharded, &[xeon_only], &ServeConfig::default())
         .pop()

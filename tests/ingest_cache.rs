@@ -200,6 +200,7 @@ fn fingerprints_match_pinned_golden_values() {
         top_k: Some(5),
         seed: 7,
         confidence: None,
+        approx: None,
     };
     let unrestricted = RankRequest {
         app: AppOfInterest::Suite(0),
@@ -209,6 +210,7 @@ fn fingerprints_match_pinned_golden_values() {
         top_k: None,
         seed: 0,
         confidence: None,
+        approx: None,
     };
     let subset = RankRequest {
         app: AppOfInterest::Suite(11),
@@ -218,6 +220,7 @@ fn fingerprints_match_pinned_golden_values() {
         top_k: Some(2),
         seed: 0xDEAD_BEEF,
         confidence: None,
+        approx: None,
     };
     assert_eq!(
         RequestFingerprint::of(&suite).as_u64(),
@@ -306,6 +309,7 @@ fn sharded_incremental_growth_across_a_split_matches_dense_for_every_model() {
             top_k: Some(6),
             seed: 21 + i as u64,
             confidence: None,
+            approx: None,
         })
         .collect();
     let config = quick_config(Parallelism::Auto);
@@ -406,6 +410,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(5),
             seed: 11,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(7),
@@ -415,6 +420,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(3),
             seed: 12,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(3),
@@ -424,6 +430,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(4),
             seed: 13,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(15),
@@ -433,6 +440,7 @@ fn cache_request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(10),
             seed: 14,
             confidence: None,
+            approx: None,
         },
     ]
 }

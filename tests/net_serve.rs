@@ -19,7 +19,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 use datatrans::core::serve::{
-    serve_batch, AppOfInterest, ConfidenceConfig, ModelKind, RankRequest, ServeConfig,
+    serve_batch, AppOfInterest, ApproxConfig, ConfidenceConfig, ModelKind, RankRequest, ServeConfig,
 };
 use datatrans::dataset::generator::{generate, DatasetConfig};
 use datatrans::dataset::query::MachineFilter;
@@ -60,6 +60,21 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             repeats: 4,
             resamples: 50,
             ..ConfidenceConfig::default()
+        }),
+        approx: None,
+    });
+    requests.push(RankRequest {
+        app: AppOfInterest::Suite(4),
+        model: ModelKind::NnT,
+        predictive: vec![0, 30, 60],
+        restrict: MachineFilter::all(),
+        top_k: Some(6),
+        seed: 13,
+        confidence: None,
+        approx: Some(ApproxConfig {
+            n_components: 2,
+            n_buckets: 8,
+            probe_buckets: 3,
         }),
     });
     requests
@@ -192,6 +207,16 @@ fn fuzz_corpus(seed: u64) -> Vec<Vec<u8>> {
         // Duplicate and missing attributes.
         b"rank model=nnt model=nnt app=suite:0 predictive=0".to_vec(),
         b"rank app=suite:0 predictive=0".to_vec(),
+        // Malformed approx triples: wrong arity, non-numeric, negative.
+        b"rank model=nnt app=suite:0 predictive=0 approx=2,8".to_vec(),
+        b"rank model=nnt app=suite:0 predictive=0 approx=2,8,3,1".to_vec(),
+        b"rank model=nnt app=suite:0 predictive=0 approx=a,b,c".to_vec(),
+        b"rank model=nnt app=suite:0 predictive=0 approx=-1,8,3".to_vec(),
+        // Well-formed approx triple with out-of-domain values: parses,
+        // then fails serving with a typed invalid-approx error.
+        b"rank model=nnt app=suite:0 predictive=0,30,60 approx=0,8,9".to_vec(),
+        // Valid approx request: parses and serves.
+        b"rank model=nnt app=suite:0 predictive=0,30,60 top_k=3 approx=2,8,3".to_vec(),
     ];
     let valid = write_request(&RankRequest {
         app: AppOfInterest::Suite(1),
@@ -201,6 +226,7 @@ fn fuzz_corpus(seed: u64) -> Vec<Vec<u8>> {
         top_k: Some(5),
         seed: 3,
         confidence: None,
+        approx: None,
     });
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..120 {

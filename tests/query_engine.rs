@@ -38,6 +38,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(5),
             seed: 11,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(7),
@@ -47,6 +48,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(3),
             seed: 12,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::External(synthesize(WorkloadProfile::Scientific, 5)),
@@ -56,6 +58,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(4),
             seed: 13,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::External(synthesize(WorkloadProfile::ServerInteger, 6)),
@@ -65,6 +68,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: None,
             seed: 14,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(15),
@@ -74,6 +78,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(10),
             seed: 15,
             confidence: None,
+            approx: None,
         },
         RankRequest {
             app: AppOfInterest::Suite(3),
@@ -83,6 +88,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
             top_k: Some(2),
             seed: 16,
             confidence: None,
+            approx: None,
         },
     ];
     // A second family request so every model sees a pruned plan.
@@ -94,6 +100,7 @@ fn request_mix(db: &dyn DatabaseView) -> Vec<RankRequest> {
         top_k: Some(5),
         seed: 17,
         confidence: None,
+        approx: None,
     });
     requests
 }
@@ -297,6 +304,7 @@ fn top_k_is_a_prefix_of_the_full_ranking() {
         top_k: None,
         seed: 3,
         confidence: None,
+        approx: None,
     };
     let cut_request = RankRequest {
         top_k: Some(4),

@@ -39,6 +39,7 @@ fn base_request() -> RankRequest {
         top_k: Some(8),
         seed: 5,
         confidence: None,
+        approx: None,
     }
 }
 
